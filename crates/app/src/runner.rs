@@ -1,0 +1,1216 @@
+//! The full-system benchmark runner.
+//!
+//! A [`Runner`] wires together the machine ([`sim`]), the NIC ([`nic`]),
+//! the kernel connection path ([`tcp`]), one listen-socket implementation
+//! ([`affinity_accept`]), the server application, and the client fleet,
+//! and runs the discrete-event loop: packets arrive on rings, softirqs
+//! drain them on the ring's core, tasks are woken and execute syscalls on
+//! their cores, responses traverse the wire back to the clients.
+//!
+//! A run has a warmup phase and a measurement window; all counters
+//! (throughput, idle time, perf counters, `lock_stat`, DProf, latency
+//! distributions) cover only the window, mirroring the paper's
+//! methodology of measuring at a discovered saturation rate (§6.2).
+
+use crate::batch::BatchJob;
+use crate::client::{CConnId, Clients};
+use crate::server::{STask, ServerKind, TaskRole};
+use crate::workload::Workload;
+use affinity_accept::{
+    AcceptOutcome, AckOutcome, AffinityAccept, FineAccept, ListenConfig, ListenSocket,
+    StockAccept, TwentyPolicy,
+};
+use metrics::lockstat::LockStat;
+use metrics::{Histogram, PerfCounters};
+use nic::packet::RingId;
+use nic::{Nic, Packet, PacketKind, RxOutcome, Steering};
+use sim::core_set::CoreSet;
+use sim::rng::SimRng;
+use sim::time::{ms, us, Cycles, CYCLES_PER_SEC};
+use sim::topology::{CoreId, Machine};
+use sim::EventQueue;
+use sim::fastmap::FastMap;
+use tcp::{ops, ConnId, ConnState, Kernel};
+
+/// One-way client↔server propagation delay (LAN).
+pub const PROP_DELAY: Cycles = us(40);
+/// Interrupt delivery latency from DMA completion to softirq start.
+pub const IRQ_LATENCY: Cycles = us(4);
+/// Packets one softirq invocation drains before yielding.
+pub const SOFTIRQ_BUDGET: usize = 64;
+/// Application work items one task step handles before yielding.
+pub const TASK_BUDGET: usize = 16;
+/// How far a core's local time may run ahead of the event clock before a
+/// batch (softirq drain, task loop) yields and reschedules itself. Keeping
+/// this small keeps lock acquisitions near-time-ordered across cores,
+/// which the timeline lock model relies on.
+pub const RUNAHEAD_HORIZON: Cycles = us(60);
+/// Upper bound on thundering-herd wakeups modelled per enqueue.
+pub const HERD_MAX: usize = 8;
+/// Runnable batch-job (make) threads per hogged core: the scheduler
+/// time-slices web work against them, dilating its wall-clock time.
+pub const HOG_THREADS: u64 = 2;
+/// TCP maximum segment size used when segmenting responses.
+pub const MSS: u32 = tcp::ops::MSS;
+
+/// Which listen-socket implementation a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListenKind {
+    /// Stock Linux (single lock).
+    Stock,
+    /// Fine-grained locks, round-robin accept.
+    Fine,
+    /// Affinity-Accept.
+    Affinity,
+}
+
+impl ListenKind {
+    /// Harness label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ListenKind::Stock => "stock",
+            ListenKind::Fine => "fine",
+            ListenKind::Affinity => "affinity",
+        }
+    }
+}
+
+/// Full configuration of one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Machine model.
+    pub machine: Machine,
+    /// Active cores (the paper sweeps 1..48 / 1..80).
+    pub cores: usize,
+    /// Listen-socket implementation.
+    pub listen: ListenKind,
+    /// Server application.
+    pub server: ServerKind,
+    /// Client workload.
+    pub workload: Workload,
+    /// Offered new-connection rate (connections/second).
+    pub conn_rate: f64,
+    /// Warmup before measurement.
+    pub warmup: Cycles,
+    /// Measurement window.
+    pub measure: Cycles,
+    /// RNG seed (a `(config, seed)` pair reproduces a run exactly).
+    pub seed: u64,
+    /// Enable the `lock_stat` profiler (Table 2; perturbs the run).
+    pub lockstat: bool,
+    /// Enable DProf (Tables 3–4, Figure 4).
+    pub dprof: bool,
+    /// Use Stock + hardware per-flow steering (§7.1 "Twenty-Policy").
+    pub twenty_policy: bool,
+    /// §6.5: run the batch job on the upper half of the cores, with this
+    /// much total CPU work (None = no batch job).
+    pub hog_work: Option<Cycles>,
+    /// Connection stealing enabled (Affinity-Accept only).
+    pub steal_enabled: bool,
+    /// Flow-group migration interval (§3.3.2's 100 ms by default; scaled
+    /// experiments shrink it together with their time scale).
+    pub migrate_interval: Cycles,
+    /// Local accepts per stolen accept (the paper's 5:1).
+    pub steal_ratio_local: u32,
+    /// Total `listen()` backlog (split per core by Affinity/Fine).
+    pub max_backlog: usize,
+    /// Flow-group migration enabled (Affinity-Accept only).
+    pub migrate_enabled: bool,
+    /// User-space cycles per request (defaults from the server kind).
+    pub app_cycles: Cycles,
+    /// Tracked `file` objects (bounded subset of the 30,000-file set).
+    pub tracked_files: usize,
+}
+
+impl RunConfig {
+    /// A run with paper-default knobs.
+    #[must_use]
+    pub fn new(
+        machine: Machine,
+        cores: usize,
+        listen: ListenKind,
+        server: ServerKind,
+        workload: Workload,
+        conn_rate: f64,
+    ) -> Self {
+        assert!(cores >= 1 && cores <= machine.n_cores);
+        Self {
+            machine,
+            cores,
+            listen,
+            server,
+            app_cycles: server.app_cycles(),
+            workload,
+            conn_rate,
+            warmup: ms(600),
+            measure: ms(500),
+            seed: 1,
+            lockstat: false,
+            dprof: false,
+            twenty_policy: false,
+            hog_work: None,
+            steal_enabled: true,
+            migrate_enabled: true,
+            migrate_interval: ms(100),
+            steal_ratio_local: 5,
+            max_backlog: 128 * cores,
+            tracked_files: 2_000,
+        }
+    }
+}
+
+/// Everything measured during the window.
+pub struct RunResult {
+    /// Requests served per second.
+    pub rps: f64,
+    /// Requests served per second per active core (the figures' y-axis).
+    pub rps_per_core: f64,
+    /// Requests served in the window.
+    pub served: u64,
+    /// Fraction of served requests processed with connection affinity.
+    pub affinity_frac: f64,
+    /// Aggregate idle fraction of the active cores.
+    pub idle_frac: f64,
+    /// Accept-queue overflow drops in the window.
+    pub drops_overflow: u64,
+    /// NIC ring-full + flush drops in the window.
+    pub drops_nic: u64,
+    /// Client-observed connection latencies.
+    pub latency: Histogram,
+    /// Connections completed / timed out at the client.
+    pub conns_completed: u64,
+    /// Client-abandoned connections.
+    pub timeouts: u64,
+    /// Per-entry performance counters (requests set for normalization).
+    pub perf: PerfCounters,
+    /// Lock profiler snapshot.
+    pub lockstat: LockStat,
+    /// Listen-socket counters (window delta).
+    pub listen_stats: affinity_accept::listen::ListenStats,
+    /// Batch-job runtime, when one ran.
+    pub batch_runtime: Option<Cycles>,
+    /// Flow-group migrations in the window.
+    pub migrations: u64,
+    /// Wire utilization over the window.
+    pub wire_util: f64,
+    /// The kernel, for DProf and further inspection.
+    pub kernel: Kernel,
+}
+
+impl std::fmt::Debug for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunResult")
+            .field("rps", &self.rps)
+            .field("rps_per_core", &self.rps_per_core)
+            .field("idle_frac", &self.idle_frac)
+            .field("affinity_frac", &self.affinity_frac)
+            .field("drops_overflow", &self.drops_overflow)
+            .field("timeouts", &self.timeouts)
+            .finish_non_exhaustive()
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival,
+    Wire(Packet),
+    Softirq(u16),
+    TaskRun(u32),
+    Think(CConnId),
+    Timeout(CConnId),
+    ToClient(CConnId, Packet),
+    TxComplete(ConnId),
+    Balance,
+    SchedBalance,
+    Hog(u16),
+    MeasureStart,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ConnApp {
+    task: u32,
+}
+
+/// The assembled simulation. Use [`Runner::run`].
+pub struct Runner {
+    cfg: RunConfig,
+    q: EventQueue<Ev>,
+    now: Cycles,
+    cores: CoreSet,
+    k: Kernel,
+    nic: Nic,
+    listen: Box<dyn ListenSocket>,
+    clients: Clients,
+    tasks: Vec<STask>,
+    /// Per-core stack of tasks sleeping in accept/poll.
+    sleep_acceptors: Vec<Vec<u32>>,
+    /// Per-core idle Apache workers.
+    idle_workers: Vec<Vec<u32>>,
+    /// Per-core Apache acceptor task index.
+    acceptors: Vec<u32>,
+    /// Per-core live worker count (for the lazy-growth cap).
+    workers_spawned: Vec<usize>,
+    conn_app: FastMap<ConnId, ConnApp>,
+    twenty: Option<TwentyPolicy>,
+    hog: Option<BatchJob>,
+    /// Per-core (busy_cycles, wall) seen at the last idle-scavenging poll.
+    hog_seen: Vec<(Cycles, Cycles)>,
+    softirq_pending: Vec<bool>,
+    rng: SimRng,
+    measuring: bool,
+    end_at: Cycles,
+    served: u64,
+    affinity_served: u64,
+    base_listen: affinity_accept::listen::ListenStats,
+    base_nic_drops: u64,
+    base_wire_bytes: u64,
+    base_migrations: u64,
+    wake_buf: Vec<CoreId>,
+    arrival_interval_mean: f64,
+    /// Diagnostic: TaskRun events by (acceptor, worker, eventloop).
+    pub dbg_taskruns: [u64; 3],
+    /// Diagnostic: cycles of dilation credited to the batch job.
+    pub dbg_dilated: u64,
+    /// Diagnostic: max core run-ahead observed at a drift-yield.
+    pub dbg_max_drift: u64,
+    /// Diagnostic: (sum, count) of delay from data arrival to sys_read.
+    pub dbg_serve_delay: (u64, u64),
+    dbg_arrival: sim::fastmap::FastMap<ConnId, Cycles>,
+    /// Diagnostic: schedule_task calls by caller site (wake_acceptors,
+    /// mark_ready, yield, release_nudge, do_accept-empty-resched).
+    pub dbg_sched: [u64; 4],
+}
+
+impl Runner {
+    /// Builds a runner from a config.
+    #[must_use]
+    #[expect(clippy::needless_range_loop)]
+    pub fn new(cfg: RunConfig) -> Self {
+        let mut k = Kernel::new(cfg.machine.clone());
+        if cfg.lockstat {
+            k.enable_lockstat();
+        }
+        if cfg.dprof {
+            k.enable_dprof();
+        }
+        k.init_files(cfg.tracked_files);
+
+        let rings = cfg.cores.min(cfg.machine.total_rings());
+        let steering = if cfg.twenty_policy {
+            Steering::per_flow(rings, nic::steering::FDIR_DEFAULT_CAPACITY)
+        } else {
+            Steering::flow_groups(rings, nic::steering::DEFAULT_FLOW_GROUPS)
+        };
+        let nic = Nic::new(rings, steering);
+
+        let mut lcfg = ListenConfig::paper(cfg.cores);
+        lcfg.stealing = cfg.steal_enabled;
+        lcfg.migration = cfg.migrate_enabled;
+        lcfg.steal_ratio_local = cfg.steal_ratio_local;
+        lcfg.max_backlog = cfg.max_backlog;
+        let listen: Box<dyn ListenSocket> = match cfg.listen {
+            ListenKind::Stock => Box::new(StockAccept::new(&mut k, lcfg)),
+            ListenKind::Fine => Box::new(FineAccept::new(&mut k, lcfg)),
+            ListenKind::Affinity => Box::new(AffinityAccept::new(&mut k, lcfg)),
+        };
+
+        let clients = Clients::new(cfg.workload.clone(), cfg.seed);
+        let mut tasks = Vec::new();
+        let mut sleep_acceptors = vec![Vec::new(); cfg.cores];
+        let idle_workers = vec![Vec::new(); cfg.cores];
+        let mut acceptors = vec![u32::MAX; cfg.cores];
+        match cfg.server {
+            ServerKind::ApacheWorker { .. } => {
+                for c in 0..cfg.cores {
+                    let core = CoreId(c as u16);
+                    let objs = k.new_task_objs(core);
+                    let tid = tasks.len() as u32;
+                    let mut t = STask::new(core, true, TaskRole::Acceptor, objs);
+                    t.sleeping = true;
+                    tasks.push(t);
+                    acceptors[c] = tid;
+                    sleep_acceptors[c].push(tid);
+                }
+            }
+            ServerKind::Lighttpd { procs_per_core, .. } => {
+                for c in 0..cfg.cores {
+                    let core = CoreId(c as u16);
+                    for _ in 0..procs_per_core {
+                        let objs = k.new_task_objs(core);
+                        let tid = tasks.len() as u32;
+                        let mut t = STask::new(core, false, TaskRole::EventLoop, objs);
+                        t.sleeping = true;
+                        tasks.push(t);
+                        sleep_acceptors[c].push(tid);
+                    }
+                }
+            }
+        }
+
+        let hog = cfg.hog_work.map(|work| {
+            let hog_cores: Vec<CoreId> =
+                (cfg.cores / 2..cfg.cores).map(|c| CoreId(c as u16)).collect();
+            BatchJob::kernel_make(work, hog_cores, 0)
+        });
+
+        let twenty = cfg.twenty_policy.then(TwentyPolicy::new);
+        let arrival_interval_mean = CYCLES_PER_SEC as f64 / cfg.conn_rate.max(1e-9);
+        let end_at = cfg.warmup + cfg.measure;
+        let n_rings = nic.n_rings();
+        let n_cores_for_hog = cfg.cores;
+        let workers_spawned = vec![0; cfg.cores];
+
+        let mut r = Self {
+            rng: SimRng::new(cfg.seed),
+            q: EventQueue::new(),
+            now: 0,
+            cores: CoreSet::new(cfg.cores),
+            k,
+            nic,
+            listen,
+            clients,
+            tasks,
+            sleep_acceptors,
+            idle_workers,
+            acceptors,
+            workers_spawned,
+            conn_app: FastMap::default(),
+            twenty,
+            hog,
+            hog_seen: vec![(0, 0); n_cores_for_hog],
+            softirq_pending: vec![false; n_rings],
+            measuring: false,
+            end_at,
+            served: 0,
+            affinity_served: 0,
+            base_listen: Default::default(),
+            base_nic_drops: 0,
+            base_wire_bytes: 0,
+            base_migrations: 0,
+            wake_buf: Vec::new(),
+            arrival_interval_mean,
+            dbg_taskruns: [0; 3],
+            dbg_dilated: 0,
+            dbg_max_drift: 0,
+            dbg_serve_delay: (0, 0),
+            dbg_arrival: Default::default(),
+            dbg_sched: [0; 4],
+            cfg,
+        };
+        r.q.push(0, Ev::Arrival);
+        r.q.push(r.cfg.warmup, Ev::MeasureStart);
+        let mi = r.cfg.migrate_interval.max(ms(1));
+        r.q.push(mi, Ev::Balance);
+        if !r.cfg.server.pinned() {
+            r.q.push(ms(10), Ev::SchedBalance);
+        }
+        if let Some(job) = &r.hog {
+            for c in job.cores().to_vec() {
+                r.q.push(0, Ev::Hog(c.0));
+            }
+        }
+        r
+    }
+
+    /// Time-slicing factor for web work on `core`: `1 + runnable make
+    /// threads` while the batch job is active there (CFS gives each
+    /// runnable thread an equal share).
+    fn web_factor(&self, core: CoreId) -> u64 {
+        match &self.hog {
+            Some(job) if job.runnable_on(core) => 1 + HOG_THREADS,
+            _ => 1,
+        }
+    }
+
+    /// Executes `dur` cycles of web-side work on `core`, dilated by the
+    /// batch job's time slices; the dilation is credited to the job.
+    fn exec(&mut self, core: CoreId, start: Cycles, dur: Cycles) -> Cycles {
+        let f = self.web_factor(core);
+        let end = self.cores.run(core, start, dur * f);
+        if f > 1 {
+            self.dbg_dilated += dur * (f - 1);
+            if let Some(job) = &mut self.hog {
+                job.credit(core, dur * (f - 1), end);
+            }
+        }
+        end
+    }
+
+    fn send_to_server(&mut self, pkt: Packet, at: Cycles) {
+        self.q.push(at, Ev::Wire(pkt));
+    }
+
+    fn tx_response(&mut self, core: CoreId, at: Cycles, conn: ConnId, bytes: u32) {
+        let tuple = self.k.conn(conn).tuple;
+        let Some(cid) = self.clients.conn_of(&tuple) else {
+            return;
+        };
+        let mut left = bytes;
+        let mut t = at;
+        loop {
+            let chunk = left.min(MSS);
+            left -= chunk;
+            let pkt = Packet::new(tuple, PacketKind::Data, chunk);
+            let wire_end = self.nic.tx(t, pkt.wire_bytes());
+            t = wire_end;
+            self.q.push(wire_end + PROP_DELAY, Ev::ToClient(cid, pkt));
+            if left == 0 {
+                // The TX-completion interrupt fires on the connection's
+                // ring core once the last segment leaves.
+                self.q.push(wire_end + IRQ_LATENCY, Ev::TxComplete(conn));
+                break;
+            }
+        }
+        let _ = core;
+    }
+
+    fn tx_control(&mut self, at: Cycles, tuple: nic::FlowTuple, kind: PacketKind) {
+        let Some(cid) = self.clients.conn_of(&tuple) else {
+            return;
+        };
+        let pkt = Packet::new(tuple, kind, 0);
+        let wire_end = self.nic.tx(at, pkt.wire_bytes());
+        self.q.push(wire_end + PROP_DELAY, Ev::ToClient(cid, pkt));
+    }
+
+    fn schedule_task(&mut self, tid: u32, at: Cycles) {
+        let t = &mut self.tasks[tid as usize];
+        if !t.queued {
+            t.queued = true;
+            self.q.push(at, Ev::TaskRun(tid));
+        }
+    }
+
+    /// Wakes the task owning `conn` (if sleeping), returning its objects
+    /// for the softirq-side wakeup charge.
+    fn owner_wake(&mut self, conn: ConnId) -> (Option<tcp::kernel::TaskObjs>, Option<u32>) {
+        let Some(app) = self.conn_app.get(&conn) else {
+            return (None, None);
+        };
+        let tid = app.task;
+        let t = &mut self.tasks[tid as usize];
+        if t.sleeping {
+            t.sleeping = false;
+            t.just_woken = true;
+            (Some(t.objs), Some(tid))
+        } else {
+            (None, Some(tid))
+        }
+    }
+
+    fn mark_ready(&mut self, conn: ConnId, tid: u32, run_at: Cycles) {
+        let t = &mut self.tasks[tid as usize];
+        if !t.ready.contains(&conn) {
+            t.ready.push_back(conn);
+        }
+        self.dbg_sched[1] += 1;
+        self.schedule_task(tid, run_at);
+    }
+
+    /// Wakes acceptors after an enqueue on `queue_core`; returns extra
+    /// softirq cycles (the wakeups are performed by the enqueuing core).
+    fn wake_acceptors(&mut self, queue_core: CoreId, softirq_core: CoreId, run_at: Cycles) -> Cycles {
+        let mut buf = std::mem::take(&mut self.wake_buf);
+        self.listen.wake_candidates(queue_core, &mut buf);
+        let herd = self.listen.wakes_all_pollers() && self.cfg.server.poll_based();
+        let mut extra = 0;
+        let mut woken = 0usize;
+        'outer: for core in &buf {
+            while let Some(tid) = self.sleep_acceptors[core.index()].pop() {
+                let t = &mut self.tasks[tid as usize];
+                t.sleeping = false;
+                t.just_woken = true;
+                let objs = t.objs;
+                extra += ops::wake_task(&mut self.k, softirq_core, &objs);
+                self.dbg_sched[0] += 1;
+                self.schedule_task(tid, run_at);
+                woken += 1;
+                if !herd || woken >= HERD_MAX {
+                    break 'outer;
+                }
+            }
+            if !herd && woken > 0 {
+                break;
+            }
+        }
+        self.wake_buf = buf;
+        extra
+    }
+
+    fn count_served(&mut self, conn: ConnId) {
+        if self.measuring {
+            self.served += 1;
+            self.k.requests_done += 1;
+            self.k.perf.requests += 1;
+            if self.k.conn(conn).has_affinity() {
+                self.affinity_served += 1;
+            }
+        }
+    }
+
+    /// Serves one ready connection from task `tid`; returns whether the
+    /// connection was closed.
+    fn serve_conn(&mut self, tid: u32, conn: ConnId) -> bool {
+        let core = self.tasks[tid as usize].core;
+        if !self.k.has_conn(conn) {
+            return true;
+        }
+        // Read whatever requests arrived.
+        if !self.k.conn(conn).rcv_queue.is_empty() {
+            let start = self.cores.start_time(core, self.now);
+            if let Some(t0) = self.dbg_arrival.remove(&conn) {
+                self.dbg_serve_delay.0 += start.saturating_sub(t0);
+                self.dbg_serve_delay.1 += 1;
+            }
+            let (d, tags) = ops::sys_read(&mut self.k, core, start, conn);
+            let mut end = self.exec(core, start, d);
+            for tag in tags {
+                // Application processing + response.
+                let is_apache = matches!(self.cfg.server, ServerKind::ApacheWorker { .. });
+                if is_apache {
+                    let objs = self.tasks[tid as usize].objs;
+                    let d = ops::sys_futex_pair(&mut self.k, core, end, &objs);
+                    end = self.exec(core, end, d);
+                    // The worker waits for each request in poll() on the
+                    // connection's descriptor.
+                    let d = ops::sys_poll_conn(&mut self.k, core, end, &objs, conn);
+                    end = self.exec(core, end, d);
+                } else {
+                    let d = ops::sys_epoll_wait(&mut self.k);
+                    end = self.exec(core, end, d);
+                }
+                let d = ops::app_request(&mut self.k, core, tag as usize, self.cfg.app_cycles);
+                end = self.exec(core, end, d);
+                let file_size = self.clients.files().size(tag as usize);
+                let bytes = Workload::response_bytes(file_size);
+                let tuple = self.k.conn(conn).tuple;
+                let (d, n_pkts) = ops::sys_writev(&mut self.k, core, end, conn, bytes);
+                end = self.exec(core, end, d);
+                if let Some(tw) = &mut self.twenty {
+                    if let Some(table) = self.nic.steering.per_flow_mut() {
+                        let d = tw.on_tx(table, end, conn, &tuple, core, n_pkts);
+                        if d > 0 {
+                            end = self.exec(core, end, d);
+                        }
+                    }
+                }
+                let d = ops::rcu_tick(&mut self.k);
+                end = self.exec(core, end, d);
+                let _ = tuple;
+                self.tx_response(core, end, conn, bytes);
+                self.count_served(conn);
+            }
+        }
+        // Teardown if the client is done.
+        if self.k.has_conn(conn)
+            && self.k.conn(conn).state == ConnState::Closing
+            && self.k.conn(conn).rcv_queue.is_empty()
+        {
+            let start = self.cores.start_time(core, self.now);
+            let (d, _fins) = ops::sys_shutdown(&mut self.k, core, start, conn);
+            let end = self.exec(core, start, d);
+            let d = ops::sys_close(&mut self.k, core, end, conn);
+            self.exec(core, end, d);
+            self.k.remove_conn(conn);
+            self.conn_app.remove(&conn);
+            if let Some(tw) = &mut self.twenty {
+                tw.on_close(conn);
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Accepts one connection on behalf of `tid`; returns false when
+    /// nothing was accepted.
+    fn do_accept(&mut self, tid: u32) -> bool {
+        let core = self.tasks[tid as usize].core;
+        let start = self.cores.start_time(core, self.now);
+        match self.listen.try_accept(&mut self.k, core, start) {
+            AcceptOutcome::Accepted {
+                item,
+                cycles,
+                resume_at,
+                ..
+            } => {
+                let end = self.exec(core, resume_at, cycles);
+                let d = ops::accept_established(&mut self.k, core, end, item.conn, item.req_obj);
+                self.exec(core, end, d);
+                // Ownership: Apache hands the connection to a worker;
+                // lighttpd keeps it in the accepting process.
+                match self.cfg.server {
+                    ServerKind::ApacheWorker { workers_per_core } => {
+                        let wid = self.take_worker(core, workers_per_core);
+                        if let Some(wid) = wid {
+                            self.conn_app.insert(item.conn, ConnApp { task: wid });
+                            self.tasks[wid as usize].conns += 1;
+                            let run_at = self.cores.core(core).busy_until;
+                            self.mark_ready(item.conn, wid, run_at);
+                        } else {
+                            // No worker available: serve on the acceptor
+                            // itself (degenerate overload mode).
+                            self.conn_app.insert(item.conn, ConnApp { task: tid });
+                            self.tasks[tid as usize].conns += 1;
+                            self.tasks[tid as usize].ready.push_back(item.conn);
+                        }
+                    }
+                    ServerKind::Lighttpd { .. } => {
+                        self.conn_app.insert(item.conn, ConnApp { task: tid });
+                        let t = &mut self.tasks[tid as usize];
+                        t.conns += 1;
+                        if !self.k.conn(item.conn).rcv_queue.is_empty()
+                            || self.k.conn(item.conn).state == ConnState::Closing
+                        {
+                            t.ready.push_back(item.conn);
+                        }
+                    }
+                }
+                // Early data may already be queued for Apache too.
+                if matches!(self.cfg.server, ServerKind::ApacheWorker { .. }) {
+                    if let Some(app) = self.conn_app.get(&item.conn) {
+                        if !self.k.conn(item.conn).rcv_queue.is_empty()
+                            || self.k.conn(item.conn).state == ConnState::Closing
+                        {
+                            let t = app.task;
+                            let run_at = self.cores.core(core).busy_until;
+                            self.mark_ready(item.conn, t, run_at);
+                        }
+                    }
+                }
+                true
+            }
+            AcceptOutcome::Empty { cycles, resume_at } => {
+                self.exec(core, resume_at, cycles);
+                false
+            }
+        }
+    }
+
+    fn take_worker(&mut self, core: CoreId, cap: usize) -> Option<u32> {
+        if let Some(w) = self.idle_workers[core.index()].pop() {
+            return Some(w);
+        }
+        if self.workers_spawned[core.index()] < cap {
+            self.workers_spawned[core.index()] += 1;
+            let objs = self.k.new_task_objs(core);
+            let tid = self.tasks.len() as u32;
+            self.tasks
+                .push(STask::new(core, true, TaskRole::Worker, objs));
+            return Some(tid);
+        }
+        None
+    }
+
+    fn release_worker(&mut self, tid: u32) {
+        let core = self.tasks[tid as usize].core;
+        self.idle_workers[core.index()].push(tid);
+        // The acceptor may have stalled on a full worker pool; nudge it.
+        let acceptor = self.acceptors[core.index()];
+        if acceptor != u32::MAX && self.listen.queued_on(core) > 0 {
+            let a = &mut self.tasks[acceptor as usize];
+            if a.sleeping {
+                a.sleeping = false;
+                a.just_woken = true;
+                self.sleep_acceptors[core.index()].retain(|t| *t != acceptor);
+                self.dbg_sched[3] += 1;
+                self.schedule_task(acceptor, self.now);
+            }
+        }
+    }
+
+    fn task_run(&mut self, tid: u32) {
+        self.dbg_taskruns[match self.tasks[tid as usize].role {
+            TaskRole::Acceptor => 0,
+            TaskRole::Worker => 1,
+            TaskRole::EventLoop => 2,
+        }] += 1;
+        self.tasks[tid as usize].queued = false;
+        let core = self.tasks[tid as usize].core;
+        let role = self.tasks[tid as usize].role;
+        let objs = self.tasks[tid as usize].objs;
+        // Context switch into the task (only on a sleep→run transition;
+        // yield-requeues continue the same task without a switch).
+        if std::mem::take(&mut self.tasks[tid as usize].just_woken) {
+            let start = self.cores.start_time(core, self.now);
+            let d = ops::schedule_in(&mut self.k, core, start, &objs);
+            self.exec(core, start, d);
+            if role == TaskRole::EventLoop {
+                let start = self.cores.start_time(core, self.now);
+                let d = ops::sys_poll(&mut self.k, core, start, &objs);
+                self.exec(core, start, d);
+            }
+        }
+
+        let mut budget = TASK_BUDGET;
+        loop {
+            let has_work = !self.tasks[tid as usize].ready.is_empty();
+            // The run-ahead yield preserves near-time-ordered use of the
+            // *listen-socket* path, so it applies to roles that accept;
+            // workers only touch per-connection state and yield on budget.
+            let accepts = role != TaskRole::Worker;
+            let drifted = accepts
+                && self.cores.start_time(core, self.now) > self.now + RUNAHEAD_HORIZON;
+            if has_work && (budget == 0 || drifted) {
+                // More to do, but the core is backed up: yield and come
+                // back when it frees.
+                let at = self.cores.core(core).busy_until;
+                self.dbg_max_drift = self.dbg_max_drift.max(at.saturating_sub(self.now));
+                self.dbg_sched[2] += 1;
+                self.schedule_task(tid, at);
+                return;
+            }
+            if !has_work && drifted {
+                // Nothing queued and the core is backed up: don't start
+                // accept scans now; retry when the core frees.
+                let at = self.cores.core(core).busy_until;
+                self.dbg_sched[2] += 1;
+                self.schedule_task(tid, at);
+                return;
+            }
+            budget = budget.saturating_sub(1);
+            if let Some(conn) = self.tasks[tid as usize].ready.pop_front() {
+                let closed = self.serve_conn(tid, conn);
+                if closed {
+                    self.tasks[tid as usize].conns =
+                        self.tasks[tid as usize].conns.saturating_sub(1);
+                    if role == TaskRole::Worker && self.tasks[tid as usize].conns == 0 {
+                        self.release_worker(tid);
+                        self.tasks[tid as usize].sleeping = true;
+                        return;
+                    }
+                }
+                continue;
+            }
+            match role {
+                TaskRole::Worker => {
+                    // Workers wait for more data on their connection.
+                    self.tasks[tid as usize].sleeping = true;
+                    return;
+                }
+                TaskRole::Acceptor => {
+                    // Accept only while a worker slot is available.
+                    let cap = match self.cfg.server {
+                        ServerKind::ApacheWorker { workers_per_core } => workers_per_core,
+                        ServerKind::Lighttpd { .. } => unreachable!("acceptor is apache-only"),
+                    };
+                    let have_slot = !self.idle_workers[core.index()].is_empty()
+                        || self.workers_spawned[core.index()] < cap;
+                    if !have_slot || !self.do_accept(tid) {
+                        let t = &mut self.tasks[tid as usize];
+                        t.sleeping = true;
+                        self.sleep_acceptors[core.index()].push(tid);
+                        return;
+                    }
+                }
+                TaskRole::EventLoop => {
+                    let cap = match self.cfg.server {
+                        ServerKind::Lighttpd {
+                            max_conns_per_proc, ..
+                        } => max_conns_per_proc,
+                        ServerKind::ApacheWorker { .. } => usize::MAX,
+                    };
+                    if self.tasks[tid as usize].conns >= cap || !self.do_accept(tid) {
+                        let t = &mut self.tasks[tid as usize];
+                        t.sleeping = true;
+                        self.sleep_acceptors[core.index()].push(tid);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch_packet(&mut self, core: CoreId, start: Cycles, pkt: Packet) -> Cycles {
+        match pkt.kind {
+            PacketKind::Syn => {
+                let d = self.listen.on_syn(&mut self.k, core, start, pkt.tuple);
+                self.tx_control(start + d, pkt.tuple, PacketKind::SynAck);
+                d
+            }
+            PacketKind::Ack => {
+                let (d, outcome) = self.listen.on_ack(&mut self.k, core, start, pkt.tuple);
+                if let AckOutcome::Enqueued { queue_core, .. } = outcome {
+                    let extra = self.wake_acceptors(queue_core, core, start + d);
+                    d + extra
+                } else {
+                    d
+                }
+            }
+            PacketKind::Data => {
+                let Some(conn) = self.k.est.lookup(&pkt.tuple) else {
+                    return 500;
+                };
+                self.k.conn_mut(conn).rx_core = core;
+                let (wake_objs, owner) = self.owner_wake(conn);
+                let d = ops::data_rx(
+                    &mut self.k,
+                    core,
+                    start,
+                    conn,
+                    pkt.payload,
+                    pkt.tag,
+                    wake_objs.as_ref(),
+                );
+                if let Some(tid) = owner {
+                    self.mark_ready(conn, tid, start + d);
+                }
+                self.dbg_arrival.entry(conn).or_insert(start);
+                d
+            }
+            PacketKind::DataAck => {
+                let Some(conn) = self.k.est.lookup(&pkt.tuple) else {
+                    return 300;
+                };
+                self.k.conn_mut(conn).rx_core = core;
+                ops::data_ack_rx(&mut self.k, core, start, conn)
+            }
+            PacketKind::Fin => {
+                let Some(conn) = self.k.est.lookup(&pkt.tuple) else {
+                    return 300;
+                };
+                self.k.conn_mut(conn).rx_core = core;
+                let (wake_objs, owner) = self.owner_wake(conn);
+                let d = ops::fin_rx(&mut self.k, core, start, conn, wake_objs.as_ref());
+                if let Some(tid) = owner {
+                    self.mark_ready(conn, tid, start + d);
+                }
+                d
+            }
+            PacketKind::SynAck => 0, // server never receives these
+        }
+    }
+
+    fn softirq(&mut self, ring: u16) {
+        let core = self.nic.ring_core(RingId(ring));
+        let mut budget = SOFTIRQ_BUDGET;
+        while budget > 0 {
+            let start = self.cores.start_time(core, self.now);
+            if start > self.now + RUNAHEAD_HORIZON {
+                break;
+            }
+            let Some((pkt, _)) = self.nic.ring_mut(RingId(ring)).pop() else {
+                break;
+            };
+            budget -= 1;
+            let d = self.dispatch_packet(core, start, pkt);
+            // Softirq work is not time-sliced against the batch job: it
+            // runs in interrupt context, above any user thread.
+            self.cores.run(core, start, d);
+        }
+        if self.nic.ring(RingId(ring)).is_empty() {
+            self.softirq_pending[ring as usize] = false;
+        } else {
+            let at = self.cores.core(core).busy_until.max(self.now);
+            self.q.push(at, Ev::Softirq(ring));
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::Arrival => {
+                let (cid, syn) = self.clients.start_conn(self.now);
+                self.send_to_server(syn, self.now + PROP_DELAY);
+                self.q
+                    .push(self.now + self.clients.workload().timeout, Ev::Timeout(cid));
+                let gap = self.rng.exp(self.arrival_interval_mean).max(1.0) as Cycles;
+                self.q.push(self.now + gap, Ev::Arrival);
+            }
+            Ev::Wire(pkt) => match self.nic.rx(self.now, pkt) {
+                RxOutcome::Delivered { ring, at } => {
+                    if !self.softirq_pending[ring.0 as usize] {
+                        self.softirq_pending[ring.0 as usize] = true;
+                        self.q.push(at + IRQ_LATENCY, Ev::Softirq(ring.0));
+                    }
+                }
+                RxOutcome::DroppedRingFull | RxOutcome::DroppedFlush => {}
+            },
+            Ev::Softirq(ring) => self.softirq(ring),
+            Ev::TaskRun(tid) => self.task_run(tid),
+            Ev::Think(cid) => {
+                let pkts = self.clients.on_think(self.now, cid);
+                for p in pkts {
+                    self.send_to_server(p, self.now + PROP_DELAY);
+                }
+            }
+            Ev::Timeout(cid) => {
+                if let Some(fin) = self.clients.on_timeout(self.now, cid) {
+                    self.send_to_server(fin, self.now + PROP_DELAY);
+                }
+            }
+            Ev::TxComplete(conn) => {
+                if self.k.has_conn(conn) {
+                    let core = self.k.conn(conn).rx_core;
+                    let start = self.cores.start_time(core, self.now);
+                    let d = ops::tx_complete(&mut self.k, core, start, conn);
+                    self.cores.run(core, start, d);
+                }
+            }
+            Ev::ToClient(cid, pkt) => {
+                let r = self.clients.on_server_packet(self.now, cid, &pkt);
+                for p in r.send {
+                    self.send_to_server(p, self.now + PROP_DELAY);
+                }
+                if let Some(t) = r.think_until {
+                    self.q.push(t, Ev::Think(cid));
+                }
+            }
+            Ev::Balance => {
+                if let Some(groups) = self.nic.steering.groups_mut() {
+                    let charged = self.listen.balance_tick(&mut self.k, groups, self.now);
+                    for (core, cyc) in charged {
+                        let start = self.cores.start_time(core, self.now);
+                        self.exec(core, start, cyc);
+                    }
+                }
+                self.q
+                    .push(self.now + self.cfg.migrate_interval.max(ms(1)), Ev::Balance);
+            }
+            Ev::SchedBalance => {
+                // The Linux process load balancer: unpinned (lighttpd)
+                // processes migrate away from cores monopolized by the
+                // batch job's runnable make threads (§4.2: the balancer
+                // "migrates processes between cores when it detects a
+                // load imbalance"). Pinned Apache processes never move.
+                let hogged: Vec<bool> = (0..self.cfg.cores)
+                    .map(|i| {
+                        self.hog
+                            .as_ref()
+                            .is_some_and(|j| j.runnable_on(CoreId(i as u16)))
+                    })
+                    .collect();
+                if hogged.iter().any(|h| *h) {
+                    let mut moved = 0;
+                    for tid in 0..self.tasks.len() as u32 {
+                        if moved >= 4 {
+                            break;
+                        }
+                        let t = &self.tasks[tid as usize];
+                        if t.pinned || !hogged[t.core.index()] {
+                            continue;
+                        }
+                        // Least-loaded non-hogged destination.
+                        let Some(dest) = (0..self.cfg.cores)
+                            .filter(|i| !hogged[*i])
+                            .min_by_key(|i| self.cores.load(CoreId(*i as u16)))
+                        else {
+                            break;
+                        };
+                        let dest = CoreId(dest as u16);
+                        let old = self.tasks[tid as usize].core;
+                        self.tasks[tid as usize].core = dest;
+                        if self.tasks[tid as usize].sleeping {
+                            self.sleep_acceptors[old.index()].retain(|x| *x != tid);
+                            self.sleep_acceptors[dest.index()].push(tid);
+                        }
+                        moved += 1;
+                    }
+                }
+                self.q.push(self.now + ms(10), Ev::SchedBalance);
+            }
+            Ev::Hog(core) => {
+                // The batch job never blocks the event timeline: softirqs
+                // preempt it and app tasks time-slice against it (the
+                // dilation in `exec`). Everything left — true idle time —
+                // is the job's. Each poll scavenges the idle wall time
+                // since the previous poll.
+                let c = CoreId(core);
+                if let Some(job) = &mut self.hog {
+                    if job.is_finished() {
+                        return;
+                    }
+                    let busy = self.cores.core(c).busy_cycles;
+                    let (seen_busy, seen_wall) = self.hog_seen[c.index()];
+                    let wall = self.now;
+                    let busy_delta = busy.saturating_sub(seen_busy);
+                    let idle = (wall - seen_wall).saturating_sub(busy_delta);
+                    self.hog_seen[c.index()] = (busy, wall);
+                    if idle > 0 {
+                        job.credit(c, idle, wall);
+                    }
+                    self.q.push(self.now + crate::batch::SLICE, Ev::Hog(core));
+                }
+            }
+            Ev::MeasureStart => {
+                self.measuring = true;
+                self.k.reset_measurement();
+                self.clients.start_measurement();
+                self.cores.reset_accounting();
+                for (i, seen) in self.hog_seen.iter_mut().enumerate() {
+                    let _ = i;
+                    seen.0 = 0;
+                }
+                self.served = 0;
+                self.affinity_served = 0;
+                self.base_listen = self.listen.stats();
+                self.base_nic_drops = self.nic.drops_ring_full + self.nic.drops_flush;
+                self.base_wire_bytes = self.nic.wire.bytes;
+                self.base_migrations = self.listen.stats().flow_migrations;
+            }
+        }
+    }
+
+    /// Runs the simulation to completion and returns the measurements.
+    #[must_use]
+    pub fn run(mut self) -> RunResult {
+        // A hog-job run continues past the window until the job finishes,
+        // so its runtime can be reported.
+        let hard_stop = self.end_at + sim::time::secs(30);
+        while let Some((t, ev)) = self.q.pop() {
+            if t >= self.end_at {
+                let job_pending = self.hog.as_ref().is_some_and(|j| !j.is_finished());
+                if !job_pending || t >= hard_stop {
+                    self.now = t;
+                    break;
+                }
+                // Keep only what the job needs: drop client arrivals.
+                if matches!(ev, Ev::Arrival) {
+                    continue;
+                }
+            }
+            self.now = t;
+            self.handle(ev);
+        }
+        if std::env::var_os("RUNNER_DEBUG").is_some() {
+            eprintln!(
+                "dbg taskruns acceptor={} worker={} eventloop={} | sched wake={} ready={} yield={} nudge={} | dilated={}",
+                self.dbg_taskruns[0], self.dbg_taskruns[1], self.dbg_taskruns[2],
+                self.dbg_sched[0], self.dbg_sched[1], self.dbg_sched[2], self.dbg_sched[3],
+                self.dbg_dilated,
+            );
+            eprintln!(
+                "dbg max_drift={} cycles; serve delay avg {} cycles over {}",
+                self.dbg_max_drift,
+                self.dbg_serve_delay.0 / self.dbg_serve_delay.1.max(1),
+                self.dbg_serve_delay.1
+            );
+        }
+        let window = self.cfg.measure;
+        let secs = sim::time::to_secs(window);
+        let served = self.served;
+        let rps = served as f64 / secs;
+        let idle = {
+            // Busy accounting was reset at window start.
+            let capacity = window as f64 * self.cfg.cores as f64;
+            let busy: f64 = (0..self.cfg.cores)
+                .map(|c| self.cores.core(CoreId(c as u16)).busy_cycles.min(window) as f64)
+                .sum();
+            ((capacity - busy) / capacity).clamp(0.0, 1.0)
+        };
+        let stats_now = self.listen.stats();
+        let listen_stats = affinity_accept::listen::ListenStats {
+            enqueued: stats_now.enqueued - self.base_listen.enqueued,
+            dropped_overflow: stats_now.dropped_overflow - self.base_listen.dropped_overflow,
+            accepts_local: stats_now.accepts_local - self.base_listen.accepts_local,
+            accepts_stolen: stats_now.accepts_stolen - self.base_listen.accepts_stolen,
+            flow_migrations: stats_now.flow_migrations - self.base_listen.flow_migrations,
+        };
+        self.k.cache.fold_all_live();
+        let wire_delta = self.nic.wire.bytes - self.base_wire_bytes;
+        let wire_util = (wire_delta as f64 * 1.92) / window as f64;
+        RunResult {
+            rps,
+            rps_per_core: rps / self.cfg.cores as f64,
+            served,
+            affinity_frac: if served == 0 {
+                0.0
+            } else {
+                self.affinity_served as f64 / served as f64
+            },
+            idle_frac: idle,
+            drops_overflow: listen_stats.dropped_overflow,
+            drops_nic: self.nic.drops_ring_full + self.nic.drops_flush - self.base_nic_drops,
+            latency: self.clients.latencies.clone(),
+            conns_completed: self.clients.completed,
+            timeouts: self.clients.timeouts,
+            perf: self.k.perf.clone(),
+            lockstat: self.k.lockstat.clone(),
+            listen_stats,
+            batch_runtime: self.hog.as_ref().map(|j| j.runtime(self.now)),
+            migrations: listen_stats.flow_migrations,
+            wire_util: wire_util.min(1.0),
+            kernel: self.k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(listen: ListenKind, cores: usize, rate: f64) -> RunConfig {
+        let mut cfg = RunConfig::new(
+            Machine::amd48(),
+            cores,
+            listen,
+            ServerKind::apache(),
+            Workload::base(),
+            rate,
+        );
+        cfg.warmup = ms(60);
+        cfg.measure = ms(120);
+        cfg.tracked_files = 200;
+        cfg
+    }
+
+    #[test]
+    fn light_load_is_served_without_drops() {
+        let cfg = quick_cfg(ListenKind::Affinity, 4, 2_000.0);
+        let r = Runner::new(cfg).run();
+        assert!(r.served > 200, "served {}", r.served);
+        assert_eq!(r.drops_overflow, 0);
+        assert_eq!(r.timeouts, 0);
+        assert!(r.idle_frac > 0.2, "idle {}", r.idle_frac);
+    }
+
+    #[test]
+    fn affinity_run_preserves_affinity() {
+        let cfg = quick_cfg(ListenKind::Affinity, 4, 2_000.0);
+        let r = Runner::new(cfg).run();
+        assert!(
+            r.affinity_frac > 0.95,
+            "affinity fraction {}",
+            r.affinity_frac
+        );
+    }
+
+    #[test]
+    fn fine_run_destroys_affinity() {
+        let cfg = quick_cfg(ListenKind::Fine, 4, 2_000.0);
+        let r = Runner::new(cfg).run();
+        assert!(
+            r.affinity_frac < 0.5,
+            "affinity fraction {}",
+            r.affinity_frac
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Runner::new(quick_cfg(ListenKind::Affinity, 2, 1_000.0)).run();
+        let b = Runner::new(quick_cfg(ListenKind::Affinity, 2, 1_000.0)).run();
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.conns_completed, b.conns_completed);
+    }
+
+    #[test]
+    fn lighttpd_server_works() {
+        let mut cfg = quick_cfg(ListenKind::Affinity, 4, 2_000.0);
+        cfg.server = ServerKind::lighttpd();
+        cfg.app_cycles = cfg.server.app_cycles();
+        let r = Runner::new(cfg).run();
+        assert!(r.served > 200, "served {}", r.served);
+        assert!(r.affinity_frac > 0.9, "affinity {}", r.affinity_frac);
+    }
+
+    #[test]
+    fn overload_drops_but_keeps_serving() {
+        let cfg = quick_cfg(ListenKind::Stock, 2, 200_000.0);
+        let r = Runner::new(cfg).run();
+        assert!(r.served > 0);
+        assert!(
+            r.drops_overflow + r.drops_nic > 0,
+            "expected drops under overload"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Server application structure (§4.2).
+//!
+//! The paper evaluates two architectures:
+//!
+//! * **Apache, worker mode, pinned** — per core, one process pinned to the
+//!   core, containing one accept thread and many worker threads; a worker
+//!   serves one connection start-to-finish, synchronizing through futexes.
+//! * **lighttpd** — ten single-threaded event-driven processes per core
+//!   (each bounded to ~200 connections), *not* pinned; each process
+//!   accepts and multiplexes its own connections with `poll()`.
+//!
+//! The structural difference matters: with Affinity-Accept, whoever calls
+//! `accept()` on a core owns a local connection, and as long as the task
+//! stays put every subsequent syscall is local.
+
+use sim::time::Cycles;
+use sim::topology::CoreId;
+use std::collections::VecDeque;
+use tcp::kernel::TaskObjs;
+use tcp::ConnId;
+
+/// Which server application is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerKind {
+    /// Apache in worker mode with pinned per-core processes.
+    ApacheWorker {
+        /// Worker threads available per core (the paper uses 1,024).
+        workers_per_core: usize,
+    },
+    /// lighttpd-style event-driven processes.
+    Lighttpd {
+        /// Processes per core (the paper uses 10).
+        procs_per_core: usize,
+        /// Max connections one process multiplexes (the paper uses 200).
+        max_conns_per_proc: usize,
+    },
+}
+
+impl ServerKind {
+    /// The paper's Apache configuration.
+    #[must_use]
+    pub fn apache() -> Self {
+        ServerKind::ApacheWorker {
+            workers_per_core: 1024,
+        }
+    }
+
+    /// The paper's lighttpd configuration.
+    #[must_use]
+    pub fn lighttpd() -> Self {
+        ServerKind::Lighttpd {
+            procs_per_core: 10,
+            max_conns_per_proc: 200,
+        }
+    }
+
+    /// Whether the server waits in `poll()` (subject to thundering herd,
+    /// §4.1) rather than blocking in `accept()`.
+    #[must_use]
+    pub fn poll_based(&self) -> bool {
+        matches!(self, ServerKind::Lighttpd { .. })
+    }
+
+    /// Whether server tasks are pinned to their cores.
+    #[must_use]
+    pub fn pinned(&self) -> bool {
+        matches!(self, ServerKind::ApacheWorker { .. })
+    }
+
+    /// Default user-space cycles to process one request (parse, stat,
+    /// build response). Apache's per-request path is heavier than
+    /// lighttpd's — the reason lighttpd peaks near twice Apache's
+    /// throughput in Figures 2/3 vs 5/6.
+    #[must_use]
+    pub fn app_cycles(&self) -> Cycles {
+        match self {
+            ServerKind::ApacheWorker { .. } => 85_000,
+            ServerKind::Lighttpd { .. } => 20_000,
+        }
+    }
+
+    /// Short name for harness output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServerKind::ApacheWorker { .. } => "apache",
+            ServerKind::Lighttpd { .. } => "lighttpd",
+        }
+    }
+}
+
+/// What a task is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskRole {
+    /// A lighttpd event-loop process.
+    EventLoop,
+    /// Apache's per-core accept thread.
+    Acceptor,
+    /// An Apache worker thread.
+    Worker,
+}
+
+/// One server task (process or thread).
+#[derive(Debug)]
+pub struct STask {
+    /// Core the task currently runs on.
+    pub core: CoreId,
+    /// Whether the scheduler may migrate it.
+    pub pinned: bool,
+    /// Role.
+    pub role: TaskRole,
+    /// Its cache-model objects.
+    pub objs: TaskObjs,
+    /// Sleeping, waiting for a wakeup.
+    pub sleeping: bool,
+    /// Woken from sleep; the next run charges a context switch.
+    pub just_woken: bool,
+    /// A `TaskRun` event is already scheduled.
+    pub queued: bool,
+    /// Connections with pending application work.
+    pub ready: VecDeque<ConnId>,
+    /// Connections currently owned.
+    pub conns: usize,
+}
+
+impl STask {
+    /// Creates a task on `core`.
+    #[must_use]
+    pub fn new(core: CoreId, pinned: bool, role: TaskRole, objs: TaskObjs) -> Self {
+        Self {
+            core,
+            pinned,
+            role,
+            objs,
+            sleeping: false,
+            just_woken: false,
+            queued: false,
+            ready: VecDeque::new(),
+            conns: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs() {
+        assert_eq!(
+            ServerKind::apache(),
+            ServerKind::ApacheWorker {
+                workers_per_core: 1024
+            }
+        );
+        assert!(ServerKind::apache().pinned());
+        assert!(!ServerKind::apache().poll_based());
+        let l = ServerKind::lighttpd();
+        assert!(l.poll_based());
+        assert!(!l.pinned());
+        assert!(l.app_cycles() < ServerKind::apache().app_cycles());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ServerKind::apache().label(), "apache");
+        assert_eq!(ServerKind::lighttpd().label(), "lighttpd");
+    }
+}

@@ -1,0 +1,146 @@
+//! Criterion microbenchmarks of the simulator's hot paths: the coherence
+//! model, the flow-steering tables, the accept-path operations of the
+//! three listen sockets, and the event queue.
+
+use affinity_accept::{AcceptOutcome, AffinityAccept, FineAccept, ListenConfig, ListenSocket, StockAccept};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mem::layout::FieldTag;
+use mem::{CacheModel, DataType};
+use nic::packet::RingId;
+use nic::steering::{FlowGroupTable, PerFlowTable, RssTable};
+use nic::FlowTuple;
+use sim::topology::{CoreId, Machine};
+use sim::EventQueue;
+use std::hint::black_box;
+use tcp::Kernel;
+
+fn bench_cache_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("local_tagged_access", |b| {
+        let mut m = CacheModel::new(Machine::amd48());
+        let sock = m.alloc(DataType::TcpSock, CoreId(0));
+        b.iter(|| {
+            black_box(m.access_tagged(CoreId(0), sock, FieldTag::BothRwByRx, true));
+        });
+    });
+    g.bench_function("ping_pong_tagged_access", |b| {
+        let mut m = CacheModel::new(Machine::amd48());
+        let sock = m.alloc(DataType::TcpSock, CoreId(0));
+        let mut i = 0u16;
+        b.iter(|| {
+            let core = CoreId(if i.is_multiple_of(2) { 0 } else { 12 });
+            i = i.wrapping_add(1);
+            black_box(m.access_tagged(core, sock, FieldTag::BothRwByRx, true));
+        });
+    });
+    g.finish();
+}
+
+fn bench_steering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steering");
+    let tuple = FlowTuple::client(7, 4321, 80);
+    g.bench_function("rss_route", |b| {
+        let t = RssTable::new(64);
+        b.iter(|| black_box(t.route(tuple.hash())));
+    });
+    g.bench_function("flow_group_route", |b| {
+        let t = FlowGroupTable::new(48, 4096);
+        b.iter(|| black_box(t.route(&tuple)));
+    });
+    g.bench_function("per_flow_route_hit", |b| {
+        let mut t = PerFlowTable::new(48, 32 * 1024);
+        t.insert(0, tuple.hash(), RingId(5));
+        b.iter(|| black_box(t.route(&tuple)));
+    });
+    g.finish();
+}
+
+fn bench_accept_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accept_path");
+    g.sample_size(20);
+    // One full SYN→ACK→accept cycle per iteration, for each implementation.
+    macro_rules! bench_impl {
+        ($name:literal, $make:expr) => {
+            g.bench_function($name, |b| {
+                let mut k = Kernel::new(Machine::amd48());
+                let mut s = $make(&mut k);
+                let mut at = 0u64;
+                let mut port = 0u16;
+                b.iter(|| {
+                    let tuple = FlowTuple::client(u32::from(port), port.wrapping_add(1).max(1), 80);
+                    s.on_syn(&mut k, CoreId(0), at, tuple);
+                    at += 50_000;
+                    s.on_ack(&mut k, CoreId(0), at, tuple);
+                    at += 50_000;
+                    match s.try_accept(&mut k, CoreId(0), at) {
+                        AcceptOutcome::Accepted { item, .. } => {
+                            tcp::ops::accept_established(&mut k, CoreId(0), at, item.conn, item.req_obj);
+                            tcp::ops::sys_close(&mut k, CoreId(0), at, item.conn);
+                            k.remove_conn(item.conn);
+                        }
+                        AcceptOutcome::Empty { .. } => panic!("queue should have one"),
+                    }
+                    at += 50_000;
+                    port = port.wrapping_add(1);
+                });
+            });
+        };
+    }
+    bench_impl!("stock", |k: &mut Kernel| StockAccept::new(k, ListenConfig::paper(4)));
+    bench_impl!("fine", |k: &mut Kernel| FineAccept::new(k, ListenConfig::paper(4)));
+    bench_impl!("affinity", |k: &mut Kernel| AffinityAccept::new(
+        k,
+        ListenConfig::paper(4)
+    ));
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop", |b| {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        for i in 0..1024u64 {
+            q.push(i * 100, i);
+        }
+        b.iter(|| {
+            let (time, ev) = q.pop().expect("non-empty");
+            t = time + 102_400;
+            q.push(t, ev);
+        });
+    });
+}
+
+fn bench_full_run(c: &mut Criterion) {
+    use app::{ListenKind, RunConfig, Runner, ServerKind, Workload};
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for listen in [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity] {
+        g.bench_function(format!("mini_run_{}", listen.label()), |b| {
+            b.iter(|| {
+                let mut cfg = RunConfig::new(
+                    Machine::amd48(),
+                    2,
+                    listen,
+                    ServerKind::apache(),
+                    Workload::base(),
+                    1_000.0,
+                );
+                cfg.warmup = sim::time::ms(40);
+                cfg.measure = sim::time::ms(40);
+                cfg.tracked_files = 20;
+                black_box(Runner::new(cfg).run().served)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_model,
+    bench_steering,
+    bench_accept_paths,
+    bench_event_queue,
+    bench_full_run
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Calibration probe: prints the key operating points the model is tuned
+//! against (not a paper figure — a development aid kept for transparency).
+//!
+//! Targets, from the paper:
+//! * Apache/AMD at 48 cores: Affinity ≈ Fine × 1.24 ≈ Stock × (2.8·1.24);
+//!   Affinity ≈ 9–10k req/s/core unprofiled (Figure 2).
+//! * Table 3 Affinity column per-request: softirq ≈ 69k cycles / 34k
+//!   instructions / 178 L2 misses.
+//! * Network-stack cycles: Fine ≈ Affinity × 1.3 (the "30 %" result).
+
+use app::{ListenKind, ServerKind};
+use bench::{base_config, sweep_saturation, IMPLS};
+use metrics::perf::KernelEntry;
+use metrics::table::{kfmt, Table};
+use sim::topology::Machine;
+
+fn main() {
+    bench::header("calibrate", "model operating points vs paper anchors");
+
+    for (label, cores) in [("1 core", 1usize), ("48 cores", 48)] {
+        let cfgs = IMPLS
+            .iter()
+            .map(|l| {
+                let mut c = base_config(Machine::amd48(), cores, *l, ServerKind::apache());
+                c.dprof = *l != ListenKind::Stock;
+                c
+            })
+            .collect();
+        let rs = sweep_saturation(cfgs);
+        let mut t = Table::new(&[
+            "impl",
+            "req/s/core",
+            "idle%",
+            "affinity%",
+            "drops",
+            "netstack cyc/req",
+            "softirq cyc/req",
+            "softirq instr/req",
+            "softirq l2m/req",
+        ]);
+        for (l, r) in IMPLS.iter().zip(&rs) {
+            let (sc, si, sm) = r.perf.per_request(KernelEntry::SoftirqNetRx);
+            t.row_owned(vec![
+                l.label().into(),
+                format!("{:.0}", r.rps_per_core),
+                format!("{:.1}", r.idle_frac * 100.0),
+                format!("{:.1}", r.affinity_frac * 100.0),
+                format!("{}", r.drops_overflow + r.drops_nic),
+                kfmt(r.perf.network_stack_cycles_per_request()),
+                kfmt(sc),
+                kfmt(si),
+                format!("{sm:.0}"),
+            ]);
+        }
+        println!("\n-- Apache, AMD, {label} --");
+        print!("{}", t.render());
+        if rs.len() == 3 {
+            println!(
+                "fine/stock = {:.2}x   affinity/fine = {:.2}x   stack cyc fine/affinity = {:.2}x",
+                rs[1].rps / rs[0].rps,
+                rs[2].rps / rs[1].rps,
+                rs[1].perf.network_stack_cycles_per_request()
+                    / rs[2].perf.network_stack_cycles_per_request().max(1.0),
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 2: Apache throughput per core vs. active cores on the AMD
+//! machine, for Stock-, Fine-, and Affinity-Accept.
+//!
+//! Expected shape: Stock collapses as cores grow (total throughput goes
+//! flat on the listen-socket lock); Fine ≈ 2.8× Stock at 48 cores;
+//! Affinity beats Fine by ~24 % at 48 cores.
+
+use app::ServerKind;
+use bench::{amd_core_counts, base_config, sweep_saturation, throughput_series, IMPLS};
+use sim::topology::Machine;
+
+fn main() {
+    bench::header("fig2", "Apache, AMD machine: requests/sec/core vs cores");
+    let xs = amd_core_counts();
+    for listen in IMPLS {
+        let cfgs = xs
+            .iter()
+            .map(|c| base_config(Machine::amd48(), *c, listen, ServerKind::apache()))
+            .collect();
+        let rs = sweep_saturation(cfgs);
+        println!();
+        print!("{}", throughput_series(listen.label(), &xs, &rs));
+        if let (Some(last), Some(lastx)) = (rs.last(), xs.last()) {
+            println!(
+                "# {} at {} cores: total {:.0} req/s, idle {:.1}%, affinity {:.0}%",
+                listen.label(),
+                lastx,
+                last.rps,
+                last.idle_frac * 100.0,
+                last.affinity_frac * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 3: lighttpd throughput per core vs. active cores on the AMD
+//! machine.
+//!
+//! Expected shape: same ordering as Figure 2; lighttpd's higher absolute
+//! rate saturates the NIC at high core counts, so Affinity-Accept's curve
+//! slopes downward past its peak.
+
+use app::ServerKind;
+use bench::{amd_core_counts, base_config, sweep_saturation, throughput_series, IMPLS};
+use sim::topology::Machine;
+
+fn main() {
+    bench::header("fig3", "lighttpd, AMD machine: requests/sec/core vs cores");
+    let xs = amd_core_counts();
+    for listen in IMPLS {
+        let cfgs = xs
+            .iter()
+            .map(|c| base_config(Machine::amd48(), *c, listen, ServerKind::lighttpd()))
+            .collect();
+        let rs = sweep_saturation(cfgs);
+        println!();
+        print!("{}", throughput_series(listen.label(), &xs, &rs));
+        if let Some(last) = rs.last() {
+            println!(
+                "# {} at 48 cores: wire utilization {:.0}%",
+                listen.label(),
+                last.wire_util * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 5: Apache throughput per core vs. cores on the 80-core Intel
+//! machine (two NIC ports provide a private DMA ring per core past 64).
+//!
+//! Expected shape: same ordering as Figure 2, but Affinity's margin over
+//! Fine is smaller — the Intel interconnect's remote accesses are much
+//! cheaper (200 vs 460 cycles).
+
+use app::ServerKind;
+use bench::{base_config, intel_core_counts, sweep_saturation, throughput_series, IMPLS};
+use sim::topology::Machine;
+
+fn main() {
+    bench::header("fig5", "Apache, Intel machine: requests/sec/core vs cores");
+    let xs = intel_core_counts();
+    for listen in IMPLS {
+        let cfgs = xs
+            .iter()
+            .map(|c| base_config(Machine::intel80(), *c, listen, ServerKind::apache()))
+            .collect();
+        let rs = sweep_saturation(cfgs);
+        println!();
+        print!("{}", throughput_series(listen.label(), &xs, &rs));
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 6: lighttpd throughput per core vs. cores on the 80-core Intel
+//! machine.
+
+use app::ServerKind;
+use bench::{base_config, intel_core_counts, sweep_saturation, throughput_series, IMPLS};
+use sim::topology::Machine;
+
+fn main() {
+    bench::header("fig6", "lighttpd, Intel machine: requests/sec/core vs cores");
+    let xs = intel_core_counts();
+    for listen in IMPLS {
+        let cfgs = xs
+            .iter()
+            .map(|c| base_config(Machine::intel80(), *c, listen, ServerKind::lighttpd()))
+            .collect();
+        let rs = sweep_saturation(cfgs);
+        println!();
+        print!("{}", throughput_series(listen.label(), &xs, &rs));
+        if let Some(last) = rs.last() {
+            println!(
+                "# {} at 80 cores: wire utilization {:.0}%",
+                listen.label(),
+                last.wire_util * 100.0
+            );
+        }
+    }
+}

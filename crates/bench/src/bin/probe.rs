@@ -1,0 +1,112 @@
+//! Development probe: fixed-rate runs with full diagnostic dumps (not a
+//! paper figure). Usage: `probe <impl> <cores> <conn_rate>`.
+
+use app::{ListenKind, RunConfig, Runner, ServerKind, Workload};
+use metrics::perf::KernelEntry;
+use metrics::table::{kfmt, Table};
+use sim::time::ms;
+use sim::topology::Machine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let listen = match args.get(1).map(String::as_str) {
+        Some("stock") => ListenKind::Stock,
+        Some("fine") => ListenKind::Fine,
+        _ => ListenKind::Affinity,
+    };
+    let cores: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let rate: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20_000.0);
+    let lockstat = args.iter().any(|a| a == "--lockstat");
+    let hog = args.iter().any(|a| a == "--hog");
+
+    let mut cfg = RunConfig::new(
+        Machine::amd48(),
+        cores,
+        listen,
+        ServerKind::apache(),
+        Workload::base(),
+        rate,
+    );
+    cfg.warmup = ms(600);
+    cfg.measure = ms(500);
+    cfg.dprof = true;
+    cfg.lockstat = lockstat;
+    if hog {
+        cfg.hog_work = Some(sim::time::ms(1250));
+        cfg.server = ServerKind::lighttpd();
+        cfg.app_cycles = cfg.server.app_cycles();
+    }
+    if let Ok(n) = std::env::var("PROBE_REUSE") {
+        cfg.workload = app::Workload::with_requests_per_conn(n.parse().unwrap());
+    }
+    if let Ok(w) = std::env::var("PROBE_WARMUP_MS") {
+        cfg.warmup = sim::time::ms(w.parse().unwrap());
+    }
+    if let Ok(m) = std::env::var("PROBE_MEASURE_MS") {
+        cfg.measure = sim::time::ms(m.parse().unwrap());
+    }
+    if let Ok(t) = std::env::var("PROBE_TIMEOUT_MS") {
+        cfg.workload.timeout = sim::time::ms(t.parse().unwrap());
+    }
+    if std::env::var_os("PROBE_NO_DPROF").is_some() {
+        cfg.dprof = false;
+    }
+    let r = Runner::new(cfg).run();
+    if let Some(rt) = r.batch_runtime {
+        println!("make runtime: {:.0} ms", sim::time::to_ms(rt));
+    }
+
+    println!(
+        "impl={} cores={cores} rate={rate}  rps={:.0} ({:.0}/core) idle={:.1}% affinity={:.1}%",
+        listen.label(),
+        r.rps,
+        r.rps_per_core,
+        r.idle_frac * 100.0,
+        r.affinity_frac * 100.0
+    );
+    println!("live_conns={} completed={} ", r.kernel.live_conns(), r.conns_completed);
+    println!(
+        "served={} drops_ovfl={} drops_nic={} timeouts={} enq={} local={} stolen={} migr={} wire={:.2}",
+        r.served,
+        r.drops_overflow,
+        r.drops_nic,
+        r.timeouts,
+        r.listen_stats.enqueued,
+        r.listen_stats.accepts_local,
+        r.listen_stats.accepts_stolen,
+        r.migrations,
+        r.wire_util,
+    );
+    let mut t = Table::new(&["entry", "cyc/req", "instr/req", "l2m/req", "calls"]);
+    for e in KernelEntry::ALL {
+        let (c, i, m) = r.perf.per_request(e);
+        t.row_owned(vec![
+            e.label().into(),
+            kfmt(c),
+            kfmt(i),
+            format!("{m:.0}"),
+            format!("{}", r.perf.entry(e).calls),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "netstack cyc/req = {}   total kernel cyc/req = {}   user cyc/req = {}",
+        kfmt(r.perf.network_stack_cycles_per_request()),
+        kfmt(r.perf.total_cycles() as f64 / r.served.max(1) as f64),
+        kfmt(r.kernel.user_cycles as f64 / r.served.max(1) as f64),
+    );
+    if lockstat {
+        let mut t = Table::new(&["lock", "acq", "contended", "spin cyc", "mutex cyc", "hold cyc"]);
+        for (class, s) in r.lockstat.iter() {
+            t.row_owned(vec![
+                class.label().into(),
+                s.acquisitions.to_string(),
+                s.contended.to_string(),
+                kfmt(s.wait_spin_cycles as f64),
+                kfmt(s.wait_mutex_cycles as f64),
+                kfmt(s.hold_cycles as f64),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+}

@@ -1,0 +1,80 @@
+//! Table 2: composition of the time to process a single request with
+//! Apache at 48 cores, measured under the `lock_stat` profiler.
+//!
+//! Columns mirror the paper: throughput (depressed by lock_stat's
+//! accounting overhead), total per-request time across all cores, idle
+//! time (which includes mutex-mode waits for the listen-socket lock),
+//! spin-mode wait, hold time, and the remainder.
+//!
+//! Expected shape: Stock spends most of each request waiting for the
+//! listen-socket lock (~70 % idle+wait); Fine and Affinity have
+//! negligible listen-lock time, with Affinity ahead on throughput.
+
+use app::ServerKind;
+use bench::{base_config, sweep_saturation, IMPLS};
+use metrics::lockstat::LockClass;
+use metrics::table::{fnum, Table};
+use sim::time::to_us;
+use sim::topology::Machine;
+
+fn main() {
+    bench::header(
+        "table2",
+        "per-request time breakdown under lock_stat (Apache, AMD, 48 cores)",
+    );
+    let cfgs = IMPLS
+        .iter()
+        .map(|l| {
+            let mut c = base_config(Machine::amd48(), 48, *l, ServerKind::apache());
+            c.lockstat = true;
+            c
+        })
+        .collect();
+    let rs = sweep_saturation(cfgs);
+
+    let mut t = Table::new(&[
+        "listen socket",
+        "req/s/core",
+        "total (us)",
+        "idle (us)",
+        "lock wait spin (us)",
+        "lock hold (us)",
+        "other (us)",
+    ]);
+    for (l, r) in IMPLS.iter().zip(&rs) {
+        let served = r.served.max(1) as f64;
+        // Total wall-clock across all cores, per request.
+        let total_cyc = 48.0 * sim::time::ms(300) as f64 / served;
+        let idle_cyc = r.idle_frac * total_cyc;
+        // Listen-socket lock accounting. Mutex-mode waits already show up
+        // as idle time (the task sleeps); spin waits burn CPU.
+        let ls = r.lockstat.class(LockClass::ListenSocket);
+        let spin_cyc = ls.wait_spin_cycles as f64 / served;
+        let hold_cyc = ls.hold_cycles as f64 / served;
+        let other_cyc = (total_cyc - idle_cyc - spin_cyc - hold_cyc).max(0.0);
+        t.row_owned(vec![
+            l.label().into(),
+            format!("{:.0}", r.rps_per_core),
+            fnum(to_us(total_cyc as u64), 0),
+            fnum(to_us(idle_cyc as u64), 0),
+            fnum(to_us(spin_cyc as u64), 1),
+            fnum(to_us(hold_cyc as u64), 1),
+            fnum(to_us(other_cyc as u64), 0),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    for (l, r) in IMPLS.iter().zip(&rs) {
+        let ls = r.lockstat.class(LockClass::ListenSocket);
+        println!(
+            "# {}: listen lock acquisitions {}, contended {}, mutex-mode wait {:.0} us/req",
+            l.label(),
+            ls.acquisitions,
+            ls.contended,
+            to_us(ls.wait_mutex_cycles / r.served.max(1)),
+        );
+    }
+    println!("\npaper (Table 2): stock 1700 req/s/core, 590us total, 320us idle,");
+    println!("  82us spin, 25us hold; fine 5700, 178us, 8us, 0, 30us;");
+    println!("  affinity 7000, 144us, 4us, 0, 17us");
+}

@@ -1,0 +1,64 @@
+//! Table 4: DProf data-structure sharing profile, Fine-Accept vs
+//! Affinity-Accept (Apache, AMD, 48 cores).
+//!
+//! For each tracked kernel data type: percent of its cache lines shared
+//! between cores, percent of bytes shared, percent shared read-write, and
+//! cycles per request spent accessing the instrumented (shared-under-Fine)
+//! bytes.
+//!
+//! Expected shape: connection-path objects (`tcp_sock`, `sk_buff`,
+//! `tcp_request_sock`, small slabs) heavily shared under Fine and almost
+//! private under Affinity; `file` objects equally shared under both
+//! (global reference counts).
+
+use app::{ListenKind, ServerKind};
+use bench::{base_config, sweep_saturation};
+use mem::DataType;
+use metrics::table::{kfmt, Table};
+use sim::topology::Machine;
+
+fn main() {
+    bench::header(
+        "table4",
+        "DProf sharing profile per data type, Fine / Affinity (48 cores)",
+    );
+    let impls = [ListenKind::Fine, ListenKind::Affinity];
+    let cfgs = impls
+        .iter()
+        .map(|l| {
+            let mut c = base_config(Machine::amd48(), 48, *l, ServerKind::apache());
+            c.dprof = true;
+            c
+        })
+        .collect();
+    let rs = sweep_saturation(cfgs);
+    let (fine, aff) = (&rs[0], &rs[1]);
+
+    let mut t = Table::new(&[
+        "data type",
+        "size (B)",
+        "% lines shared (F/A)",
+        "% bytes shared (F/A)",
+        "% bytes RW (F/A)",
+        "cyc on shared/req (F/A)",
+    ]);
+    for ty in DataType::TABLE4 {
+        let fr = fine.kernel.cache.dprof.table4_row(ty, fine.served);
+        let ar = aff.kernel.cache.dprof.table4_row(ty, aff.served);
+        t.row_owned(vec![
+            ty.label().into(),
+            ty.size().to_string(),
+            format!("{:.0} / {:.0}", fr.lines_shared_pct, ar.lines_shared_pct),
+            format!("{:.0} / {:.0}", fr.bytes_shared_pct, ar.bytes_shared_pct),
+            format!(
+                "{:.0} / {:.0}",
+                fr.bytes_shared_rw_pct, ar.bytes_shared_rw_pct
+            ),
+            format!("{} / {}", kfmt(fr.cycles_per_request), kfmt(ar.cycles_per_request)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\npaper (Table 4, fine/affinity): tcp_sock 85/12 lines, 30/2 bytes,");
+    println!("  22/2 RW, 54974/30584 cyc; sk_buff 75/25, 20/2, 17/2, 17586/9882;");
+    println!("  tcp_request_sock 100/0, 22/0, 12/0, 5174/3278; file 100/100, 8/8, 8/8");
+}

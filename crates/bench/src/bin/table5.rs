@@ -1,0 +1,44 @@
+//! Table 5: features of contemporary 10 Gb NICs, plus the simulated
+//! card's behaviour at the limits the table documents.
+
+use metrics::table::Table;
+use nic::catalog::CATALOG;
+use nic::packet::RingId;
+use nic::steering::{PerFlowTable, RssTable, FDIR_INSERT_CYCLES};
+
+fn main() {
+    bench::header("table5", "NIC feature comparison and modelled limits");
+    let mut t = Table::new(&[
+        "NIC",
+        "HW DMA rings",
+        "RSS DMA rings",
+        "flow steering (conns)",
+    ]);
+    for n in CATALOG {
+        t.row_owned(vec![
+            n.name.into(),
+            n.hw_dma_rings.into(),
+            n.rss_dma_rings.into(),
+            n.flow_steering_entries.unwrap_or("-").into(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    // Demonstrate the modelled limits for the 82599.
+    let rss = RssTable::new(64);
+    println!("\n82599 model: RSS with 64 rings addresses {} distinct rings", rss.distinct_rings());
+    let mut fdir = PerFlowTable::new(64, 32 * 1024);
+    let mut flushes = 0;
+    for h in 0..40_000u64 {
+        fdir.insert(h * 1000, h, RingId((h % 64) as u16));
+        flushes = fdir.flushes;
+    }
+    println!(
+        "82599 model: 40,000 per-flow inserts at {} cycles each caused {} full-table flush(es)",
+        FDIR_INSERT_CYCLES, flushes
+    );
+    println!(
+        "82599 model: flow-group mode needs only {} entries for any number of connections",
+        nic::steering::DEFAULT_FLOW_GROUPS
+    );
+}

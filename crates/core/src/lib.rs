@@ -1,0 +1,39 @@
+//! Affinity-Accept: the paper's contribution.
+//!
+//! Three listen-socket implementations behind one trait, exactly as the
+//! evaluation compares them (§6.2):
+//!
+//! * [`stock::StockAccept`] — the stock Linux listen socket: one request
+//!   hash table and one accept queue, serialized under a single per-port
+//!   socket lock that spins in softirq context and sleeps ("mutex mode")
+//!   in syscall context (§2.1).
+//! * [`fine::FineAccept`] — the intermediate design: per-core cloned
+//!   accept queues with per-queue locks and per-bucket request-table
+//!   locks; `accept()` dequeues round-robin across all clones, so locking
+//!   scales but connection affinity is destroyed.
+//! * [`affinity::AffinityAccept`] — the paper's design: `accept()` prefers
+//!   the local clone's queue; short-term imbalance is fixed by
+//!   *connection stealing* from busy cores at a 5:1 local:remote ratio
+//!   (§3.3.1), long-term imbalance by *flow-group migration* in the NIC's
+//!   FDir table every 100 ms (§3.3.2).
+//!
+//! [`twenty::TwentyPolicy`] models the IXGBE driver's hardware per-flow
+//! steering (an FDir insert on every 20th transmitted packet), the §7.1
+//! baseline of Figure 10. [`busy::BusyTracker`] is the EWMA/watermark
+//! busy-status machinery shared by the load balancer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affinity;
+pub mod busy;
+pub mod fine;
+pub mod listen;
+pub mod stock;
+pub mod twenty;
+
+pub use affinity::AffinityAccept;
+pub use fine::FineAccept;
+pub use listen::{AcceptItem, AcceptOutcome, AckOutcome, ListenConfig, ListenSocket};
+pub use stock::StockAccept;
+pub use twenty::TwentyPolicy;

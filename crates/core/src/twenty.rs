@@ -1,0 +1,147 @@
+//! Twenty-Policy: hardware per-flow steering (§7.1, Figure 10).
+//!
+//! The IXGBE driver's historical attempt at connection affinity: on every
+//! 20th transmitted packet of a flow, insert an FDir entry routing the
+//! flow's *incoming* packets to the core that called `sendmsg()`. The
+//! paper shows why this loses: inserting costs ~10,000 cycles (hash
+//! computation dominates), the driver cannot remove entries for dead
+//! connections, and when the bounded table fills it must flush everything,
+//! halting transmission and missing received packets.
+//!
+//! Short connections never reach 20 transmitted packets, so they get no
+//! steering at all — which is why Twenty-Policy only approaches
+//! Affinity-Accept at very high connection reuse.
+
+use nic::packet::RingId;
+use nic::steering::PerFlowTable;
+use nic::FlowTuple;
+use sim::time::Cycles;
+use sim::topology::CoreId;
+use sim::fastmap::FastMap;
+use tcp::ConnId;
+
+/// Transmitted packets between FDir updates.
+pub const UPDATE_PERIOD: u32 = 20;
+
+/// Driver state for the every-20th-packet steering policy.
+#[derive(Debug, Default)]
+pub struct TwentyPolicy {
+    tx_counts: FastMap<ConnId, u32>,
+    /// FDir insertions performed.
+    pub updates: u64,
+}
+
+impl TwentyPolicy {
+    /// Creates the policy with no tracked flows.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n_pkts` transmitted packets for `conn` from `core`;
+    /// performs an FDir insert each time the count crosses a multiple of
+    /// [`UPDATE_PERIOD`]. Returns the CPU cycles charged to the sender.
+    pub fn on_tx(
+        &mut self,
+        table: &mut PerFlowTable,
+        now: Cycles,
+        conn: ConnId,
+        tuple: &FlowTuple,
+        core: CoreId,
+        n_pkts: u32,
+    ) -> Cycles {
+        let count = self.tx_counts.entry(conn).or_insert(0);
+        let before = *count;
+        *count += n_pkts;
+        let crossings = (*count / UPDATE_PERIOD) - (before / UPDATE_PERIOD);
+        let mut cycles = 0;
+        for _ in 0..crossings {
+            cycles += table.insert(now, tuple.hash(), RingId(core.0));
+            self.updates += 1;
+        }
+        cycles
+    }
+
+    /// Forgets a closed connection's counter. The *driver* cannot do this
+    /// for its hardware table — that is the point — but the host-side
+    /// counter map is ordinary memory.
+    pub fn on_close(&mut self, conn: ConnId) {
+        self.tx_counts.remove(&conn);
+    }
+
+    /// Flows currently tracked.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.tx_counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PerFlowTable {
+        PerFlowTable::new(16, 1000)
+    }
+
+    #[test]
+    fn short_connections_never_update() {
+        let mut p = TwentyPolicy::new();
+        let mut t = table();
+        let tuple = FlowTuple::client(1, 5, 80);
+        // 6 requests × ~2 packets: well under 20.
+        for _ in 0..6 {
+            let c = p.on_tx(&mut t, 0, ConnId(1), &tuple, CoreId(3), 2);
+            assert_eq!(c, 0);
+        }
+        assert_eq!(p.updates, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn crossing_twenty_inserts() {
+        let mut p = TwentyPolicy::new();
+        let mut t = table();
+        let tuple = FlowTuple::client(1, 6, 80);
+        let mut total = 0;
+        for _ in 0..10 {
+            total += p.on_tx(&mut t, 0, ConnId(2), &tuple, CoreId(7), 3);
+        }
+        // 30 packets → one crossing at 20.
+        assert_eq!(p.updates, 1);
+        assert!(total >= nic::steering::FDIR_INSERT_CYCLES);
+        assert_eq!(t.route(&tuple), RingId(7));
+    }
+
+    #[test]
+    fn burst_can_cross_multiple_periods() {
+        let mut p = TwentyPolicy::new();
+        let mut t = table();
+        let tuple = FlowTuple::client(1, 7, 80);
+        p.on_tx(&mut t, 0, ConnId(3), &tuple, CoreId(1), 45);
+        assert_eq!(p.updates, 2);
+    }
+
+    #[test]
+    fn close_clears_counter() {
+        let mut p = TwentyPolicy::new();
+        let mut t = table();
+        let tuple = FlowTuple::client(1, 8, 80);
+        p.on_tx(&mut t, 0, ConnId(4), &tuple, CoreId(0), 5);
+        assert_eq!(p.tracked(), 1);
+        p.on_close(ConnId(4));
+        assert_eq!(p.tracked(), 0);
+    }
+
+    #[test]
+    fn resteering_follows_the_sender() {
+        let mut p = TwentyPolicy::new();
+        let mut t = table();
+        let tuple = FlowTuple::client(1, 9, 80);
+        p.on_tx(&mut t, 0, ConnId(5), &tuple, CoreId(2), 20);
+        assert_eq!(t.route(&tuple), RingId(2));
+        // The app thread migrated; the next crossing updates the entry.
+        p.on_tx(&mut t, 0, ConnId(5), &tuple, CoreId(9), 20);
+        assert_eq!(t.route(&tuple), RingId(9));
+    }
+}

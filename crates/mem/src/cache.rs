@@ -1,0 +1,612 @@
+//! The cache-coherence cost model.
+//!
+//! Tracked kernel objects are split into 64-byte lines; each line carries a
+//! MESI-flavoured state: the set of cores holding a copy, the last writer
+//! (owner), and a dirty bit. An access is served — at the Table 1 latency —
+//! from:
+//!
+//! * **L1** if this core touched the line most recently,
+//! * **L2** if this core still holds a valid copy,
+//! * **L3** if a core on the same chip holds it,
+//! * **remote L3** if a core on another chip holds it modified (a
+//!   cache-to-cache transfer across the interconnect — the expensive case
+//!   §2.2 describes),
+//! * **local or remote DRAM** otherwise, depending on the line's home node.
+//!
+//! Writes invalidate all other copies, which is what makes ping-ponged
+//! connection state expensive: every direction switch between the packet
+//! side and the application side re-fetches the line from a remote cache.
+//!
+//! An access beyond L2 counts as an L2 miss (Table 3's third counter).
+
+use crate::dprof::DProf;
+use crate::layout;
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use sim::fastmap::FastMap;
+use sim::topology::{CoreId, Machine};
+
+/// Identifies one tracked object instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjId(pub u64);
+
+/// Where an access was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ServiceLevel {
+    L1,
+    L2,
+    L3,
+    Ram,
+    RemoteL3,
+    RemoteRam,
+}
+
+impl ServiceLevel {
+    /// Whether this access missed the private L1/L2 hierarchy.
+    #[must_use]
+    pub fn is_l2_miss(self) -> bool {
+        !matches!(self, ServiceLevel::L1 | ServiceLevel::L2)
+    }
+}
+
+/// Cost summary of one (possibly multi-line) access.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Access {
+    /// Total latency in cycles.
+    pub latency: u64,
+    /// Number of line touches that missed L2.
+    pub l2_misses: u64,
+}
+
+impl Access {
+    /// Accumulates another access into this one.
+    pub fn add(&mut self, other: Access) {
+        self.latency += other.latency;
+        self.l2_misses += other.l2_misses;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LineState {
+    /// Bitmask of cores holding a valid copy.
+    sharers: u128,
+    /// Last writer.
+    owner: u16,
+    /// Most recent toucher (L1 heuristic).
+    last: u16,
+    /// Whether the owner's copy is modified.
+    dirty: bool,
+    /// Whether the line has ever been cached (cold lines come from DRAM).
+    warm: bool,
+}
+
+#[derive(Debug)]
+struct ObjProf {
+    readers: Box<[u128]>,
+    writers: Box<[u128]>,
+}
+
+#[derive(Debug)]
+struct Obj {
+    ty: DataType,
+    home_chip: u16,
+    lines: Box<[LineState]>,
+    prof: Option<ObjProf>,
+}
+
+/// The machine-wide coherence model. See the module docs.
+#[derive(Debug)]
+pub struct CacheModel {
+    machine: Machine,
+    chip_of: Vec<u16>,
+    chip_mask: Vec<u128>,
+    objs: FastMap<u64, Obj>,
+    next_id: u64,
+    /// The DProf profiler; enable before a run to collect Table 4 /
+    /// Figure 4 data.
+    pub dprof: DProf,
+}
+
+impl CacheModel {
+    /// Creates a model for the given machine.
+    #[must_use]
+    pub fn new(machine: Machine) -> Self {
+        assert!(machine.n_cores <= 128, "core masks are 128 bits");
+        let chip_of: Vec<u16> = (0..machine.n_cores)
+            .map(|i| machine.chip_of(CoreId(i as u16)).0)
+            .collect();
+        let n_chips = machine.n_chips();
+        let mut chip_mask = vec![0u128; n_chips];
+        for (core, chip) in chip_of.iter().enumerate() {
+            chip_mask[*chip as usize] |= 1u128 << core;
+        }
+        Self {
+            machine,
+            chip_of,
+            chip_mask,
+            objs: FastMap::default(),
+            next_id: 1,
+            dprof: DProf::disabled(),
+        }
+    }
+
+    /// The machine this model simulates.
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Number of live tracked objects.
+    #[must_use]
+    pub fn live_objects(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Allocates a fresh object of `ty`, homed on `core`'s chip. All its
+    /// lines start uncached (first accesses are compulsory misses).
+    pub fn alloc(&mut self, ty: DataType, core: CoreId) -> ObjId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let prof = self.dprof.is_enabled().then(|| {
+            let nf = layout::fields(ty).len();
+            ObjProf {
+                readers: vec![0; nf].into_boxed_slice(),
+                writers: vec![0; nf].into_boxed_slice(),
+            }
+        });
+        self.objs.insert(
+            id,
+            Obj {
+                ty,
+                home_chip: self.chip_of[core.index()],
+                // Only the hot prefix is materialized; cold LocalOnly
+                // tails are never touched by the data path.
+                lines: vec![LineState::default(); layout::hot_lines(ty)].into_boxed_slice(),
+                prof,
+            },
+        );
+        ObjId(id)
+    }
+
+    /// The type of a live object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object does not exist.
+    #[must_use]
+    pub fn type_of(&self, id: ObjId) -> DataType {
+        self.objs[&id.0].ty
+    }
+
+    /// Frees an object: folds its sharing profile into DProf and drops it.
+    pub fn free(&mut self, id: ObjId) {
+        if let Some(obj) = self.objs.remove(&id.0) {
+            self.fold(&obj);
+        }
+    }
+
+    /// Recycles an object for slab reuse: folds and resets its sharing
+    /// profile but **keeps the line coherence state**, because reusing
+    /// memory freed by another core starts from that core's cached lines.
+    pub fn recycle(&mut self, id: ObjId) {
+        let enabled = self.dprof.is_enabled();
+        if let Some(obj) = self.objs.get_mut(&id.0) {
+            // Fold, then reset masks for the next incarnation.
+            let ty = obj.ty;
+            if let Some(prof) = obj.prof.as_mut() {
+                Self::fold_profile(&mut self.dprof, ty, prof);
+                prof.readers.iter_mut().for_each(|m| *m = 0);
+                prof.writers.iter_mut().for_each(|m| *m = 0);
+            } else if enabled {
+                // Profiling was enabled after allocation; start tracking.
+                let nf = layout::fields(ty).len();
+                obj.prof = Some(ObjProf {
+                    readers: vec![0; nf].into_boxed_slice(),
+                    writers: vec![0; nf].into_boxed_slice(),
+                });
+            }
+        }
+    }
+
+    /// Folds all live objects' profiles into DProf (end of a measured run).
+    pub fn fold_all_live(&mut self) {
+        let ids: Vec<u64> = self.objs.keys().copied().collect();
+        for id in ids {
+            if let Some(obj) = self.objs.get_mut(&id) {
+                let ty = obj.ty;
+                if let Some(prof) = obj.prof.as_mut() {
+                    Self::fold_profile(&mut self.dprof, ty, prof);
+                    prof.readers.iter_mut().for_each(|m| *m = 0);
+                    prof.writers.iter_mut().for_each(|m| *m = 0);
+                }
+            }
+        }
+    }
+
+    fn fold(&mut self, obj: &Obj) {
+        if let Some(prof) = &obj.prof {
+            let mut tmp = ObjProf {
+                readers: prof.readers.clone(),
+                writers: prof.writers.clone(),
+            };
+            Self::fold_profile(&mut self.dprof, obj.ty, &mut tmp);
+        }
+    }
+
+    fn fold_profile(dprof: &mut DProf, ty: DataType, prof: &mut ObjProf) {
+        dprof.fold_instance(ty, &prof.readers, &prof.writers);
+    }
+
+    #[expect(clippy::too_many_arguments)]
+    #[inline]
+    fn touch_one(
+        lat: &sim::topology::LatencyProfile,
+        chip_of: &[u16],
+        chip_mask: &[u128],
+        home_chip: u16,
+        ls: &mut LineState,
+        c: usize,
+        my_chip: u16,
+        write: bool,
+    ) -> (u64, ServiceLevel) {
+        let me = 1u128 << c;
+        let level;
+        if ls.sharers & me != 0 {
+            if write && ls.sharers != me {
+                // Upgrade: invalidate other sharers.
+                let others = ls.sharers & !me;
+                let same_chip = others & chip_mask[my_chip as usize] == others;
+                level = if same_chip {
+                    ServiceLevel::L3
+                } else {
+                    ServiceLevel::RemoteL3
+                };
+            } else {
+                level = if ls.last == c as u16 {
+                    ServiceLevel::L1
+                } else {
+                    ServiceLevel::L2
+                };
+            }
+        } else if ls.sharers == 0 {
+            level = if !ls.warm || home_chip == my_chip {
+                // Cold lines are charged local DRAM: they are brought in by
+                // the allocating core whose chip is the home node.
+                ServiceLevel::Ram
+            } else {
+                ServiceLevel::RemoteRam
+            };
+        } else if ls.dirty {
+            let owner_chip = chip_of[ls.owner as usize];
+            level = if owner_chip == my_chip {
+                ServiceLevel::L3
+            } else {
+                ServiceLevel::RemoteL3
+            };
+        } else if ls.sharers & chip_mask[my_chip as usize] != 0 {
+            level = ServiceLevel::L3;
+        } else {
+            level = if home_chip == my_chip {
+                ServiceLevel::Ram
+            } else {
+                ServiceLevel::RemoteRam
+            };
+        }
+
+        if write {
+            ls.sharers = me;
+            ls.dirty = true;
+            ls.owner = c as u16;
+        } else {
+            // A read by another core downgrades Modified to Shared (the
+            // owner's copy is written back).
+            if ls.dirty && ls.owner != c as u16 {
+                ls.dirty = false;
+            }
+            ls.sharers |= me;
+        }
+        ls.last = c as u16;
+        ls.warm = true;
+
+        let cycles = match level {
+            ServiceLevel::L1 => lat.l1,
+            ServiceLevel::L2 => lat.l2,
+            ServiceLevel::L3 => lat.l3,
+            ServiceLevel::Ram => lat.ram,
+            ServiceLevel::RemoteL3 => lat.remote_l3,
+            ServiceLevel::RemoteRam => lat.remote_ram,
+        };
+        (cycles, level)
+    }
+
+    /// Accesses one field of an object; returns the total cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is not live or the field index is out of range.
+    pub fn access_field(&mut self, core: CoreId, id: ObjId, field_idx: usize, write: bool) -> Access {
+        let c = core.index();
+        let my_chip = self.chip_of[c];
+        let lat = self.machine.lat;
+        let dprof_on = self.dprof.is_enabled();
+        let obj = self.objs.get_mut(&id.0).expect("live object");
+        let ty = obj.ty;
+        let f = &layout::fields(ty)[field_idx];
+        let mut acc = Access::default();
+        for line in f.lines() {
+            let (cycles, level) = Self::touch_one(
+                &lat,
+                &self.chip_of,
+                &self.chip_mask,
+                obj.home_chip,
+                &mut obj.lines[line],
+                c,
+                my_chip,
+                write,
+            );
+            acc.latency += cycles;
+            if level.is_l2_miss() {
+                acc.l2_misses += 1;
+            }
+        }
+        if dprof_on {
+            if let Some(prof) = obj.prof.as_mut() {
+                let me = 1u128 << c;
+                if write {
+                    prof.writers[field_idx] |= me;
+                } else {
+                    prof.readers[field_idx] |= me;
+                }
+            }
+            if f.tag.shared_under_fine() {
+                self.dprof.record_shared_access(ty, acc.latency);
+            }
+        }
+        acc
+    }
+
+    /// Accesses every field of `id` carrying `tag`.
+    pub fn access_tagged(
+        &mut self,
+        core: CoreId,
+        id: ObjId,
+        tag: layout::FieldTag,
+        write: bool,
+    ) -> Access {
+        let c = core.index();
+        let my_chip = self.chip_of[c];
+        let lat = self.machine.lat;
+        let dprof_on = self.dprof.is_enabled();
+        let obj = self.objs.get_mut(&id.0).expect("live object");
+        let ty = obj.ty;
+        let fields = layout::fields(ty);
+        let mut acc = Access::default();
+        let shared_set = tag.shared_under_fine();
+        let me = 1u128 << c;
+        for &idx in layout::tag_indices(ty, tag) {
+            let f = &fields[idx as usize];
+            let mut field_acc = Access::default();
+            for line in f.lines() {
+                let (cycles, level) = Self::touch_one(
+                    &lat,
+                    &self.chip_of,
+                    &self.chip_mask,
+                    obj.home_chip,
+                    &mut obj.lines[line],
+                    c,
+                    my_chip,
+                    write,
+                );
+                field_acc.latency += cycles;
+                if level.is_l2_miss() {
+                    field_acc.l2_misses += 1;
+                }
+            }
+            if dprof_on {
+                if let Some(prof) = obj.prof.as_mut() {
+                    if write {
+                        prof.writers[idx as usize] |= me;
+                    } else {
+                        prof.readers[idx as usize] |= me;
+                    }
+                }
+                if shared_set {
+                    self.dprof.record_shared_access(ty, field_acc.latency);
+                }
+            }
+            acc.add(field_acc);
+        }
+        acc
+    }
+
+    /// Whether the given line of an object is currently dirty in some cache.
+    #[must_use]
+    pub fn line_dirty(&self, id: ObjId, line: usize) -> bool {
+        self.objs[&id.0].lines[line].dirty
+    }
+
+    /// Sharer count of a line (for invariants and tests).
+    #[must_use]
+    pub fn line_sharers(&self, id: ObjId, line: usize) -> u32 {
+        self.objs[&id.0].lines[line].sharers.count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C0: CoreId = CoreId(0); // chip 0
+    const C1: CoreId = CoreId(1); // chip 0
+    const C6: CoreId = CoreId(6); // chip 1 (AMD: 6 cores per chip)
+
+    fn model() -> CacheModel {
+        CacheModel::new(Machine::amd48())
+    }
+
+    fn first_field(m: &CacheModel, id: ObjId) -> usize {
+        let _ = m;
+        let _ = id;
+        0
+    }
+
+    #[test]
+    fn first_access_is_compulsory_ram_miss() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        let f = first_field(&m, id);
+        let a = m.access_field(C0, id, f, true);
+        assert!(a.l2_misses >= 1);
+        assert_eq!(a.latency, Machine::amd48().lat.ram);
+    }
+
+    #[test]
+    fn repeated_local_access_hits_l1() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        m.access_field(C0, id, 0, true);
+        let a = m.access_field(C0, id, 0, false);
+        assert_eq!(a.latency, Machine::amd48().lat.l1);
+        assert_eq!(a.l2_misses, 0);
+    }
+
+    #[test]
+    fn cross_chip_dirty_read_costs_remote_l3() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        m.access_field(C0, id, 0, true);
+        let a = m.access_field(C6, id, 0, false);
+        assert_eq!(a.latency, Machine::amd48().lat.remote_l3);
+        assert!(a.l2_misses >= 1);
+    }
+
+    #[test]
+    fn same_chip_dirty_read_costs_l3() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        m.access_field(C0, id, 0, true);
+        let a = m.access_field(C1, id, 0, false);
+        assert_eq!(a.latency, Machine::amd48().lat.l3);
+    }
+
+    #[test]
+    fn write_invalidates_remote_sharers() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        m.access_field(C0, id, 0, true);
+        m.access_field(C6, id, 0, false);
+        assert_eq!(m.line_sharers(id, 0), 2);
+        // C0 writes again: upgrade invalidates C6's copy.
+        let a = m.access_field(C0, id, 0, true);
+        assert_eq!(m.line_sharers(id, 0), 1);
+        assert_eq!(a.latency, Machine::amd48().lat.remote_l3);
+        // C6 must now re-fetch remotely.
+        let b = m.access_field(C6, id, 0, false);
+        assert_eq!(b.latency, Machine::amd48().lat.remote_l3);
+    }
+
+    #[test]
+    fn ping_pong_is_expensive_local_reuse_is_cheap() {
+        // The paper's core claim in miniature: alternate writer cores pay
+        // remote latencies every access; a single core pays L1.
+        let mut m = model();
+        let shared = m.alloc(DataType::TcpRequestSock, C0);
+        let local = m.alloc(DataType::TcpRequestSock, C0);
+        let mut shared_cost = 0;
+        let mut local_cost = 0;
+        for i in 0..10 {
+            let c = if i % 2 == 0 { C0 } else { C6 };
+            shared_cost += m.access_field(c, shared, 0, true).latency;
+            local_cost += m.access_field(C0, local, 0, true).latency;
+        }
+        assert!(shared_cost > 5 * local_cost, "{shared_cost} vs {local_cost}");
+    }
+
+    #[test]
+    fn clean_remote_ram_for_cross_chip_home() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        // Warm the line and let it be "evicted" logically by writing from
+        // home, then reading cleanly from a remote chip after invalidation.
+        m.access_field(C0, id, 0, true);
+        m.access_field(C6, id, 0, false); // remote_l3, now shared clean
+        // A third chip reads a clean line: same-chip? no; dirty? no; so it
+        // comes from the home node's DRAM (remote for chip 2).
+        let c12 = CoreId(12);
+        let a = m.access_field(c12, id, 0, false);
+        // Clean data with a sharer on another chip: served from home DRAM.
+        assert_eq!(a.latency, Machine::amd48().lat.remote_ram);
+    }
+
+    #[test]
+    fn recycle_keeps_line_state() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C6);
+        m.access_field(C6, id, 0, true);
+        m.recycle(id);
+        // Reused on C0: the line is still dirty in C6's cache — remote miss.
+        let a = m.access_field(C0, id, 0, true);
+        assert_eq!(a.latency, Machine::amd48().lat.remote_l3);
+    }
+
+    #[test]
+    fn free_removes_object() {
+        let mut m = model();
+        let id = m.alloc(DataType::SkBuff, C0);
+        assert_eq!(m.live_objects(), 1);
+        m.free(id);
+        assert_eq!(m.live_objects(), 0);
+    }
+
+    #[test]
+    fn access_tagged_touches_all_tagged_fields() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpSock, C0);
+        let a = m.access_tagged(C0, id, layout::FieldTag::GlobalNode, true);
+        let n_globals = layout::fields_with_tag(DataType::TcpSock, layout::FieldTag::GlobalNode).len();
+        assert_eq!(a.l2_misses as usize, n_globals); // all cold
+    }
+
+    #[test]
+    fn dprof_disabled_by_default_costs_nothing_extra() {
+        let m = model();
+        assert!(!m.dprof.is_enabled());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Coherence invariant: a dirty line has exactly one sharer; the
+        /// owner of a dirty line is always in the sharer set.
+        #[test]
+        fn dirty_implies_exclusive(ops in proptest::collection::vec((0usize..48, any::<bool>()), 1..200)) {
+            let mut m = CacheModel::new(Machine::amd48());
+            let id = m.alloc(DataType::TcpRequestSock, CoreId(0));
+            for (core, write) in ops {
+                m.access_field(CoreId(core as u16), id, 0, write);
+                if m.line_dirty(id, 0) {
+                    prop_assert_eq!(m.line_sharers(id, 0), 1);
+                }
+                prop_assert!(m.line_sharers(id, 0) >= 1);
+            }
+        }
+
+        /// Latency is always one of the six Table 1 values.
+        #[test]
+        fn latency_in_profile(ops in proptest::collection::vec((0usize..48, any::<bool>()), 1..100)) {
+            let mut m = CacheModel::new(Machine::amd48());
+            let id = m.alloc(DataType::TcpRequestSock, CoreId(3));
+            let lat = Machine::amd48().lat;
+            let valid = [lat.l1, lat.l2, lat.l3, lat.ram, lat.remote_l3, lat.remote_ram];
+            for (core, write) in ops {
+                let a = m.access_field(CoreId(core as u16), id, 0, write);
+                prop_assert!(valid.contains(&a.latency), "latency {}", a.latency);
+            }
+        }
+    }
+}

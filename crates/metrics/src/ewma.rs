@@ -1,0 +1,145 @@
+//! Exponentially weighted moving average.
+//!
+//! Affinity-Accept clears a core's busy status based on an EWMA of its local
+//! accept-queue length rather than the instantaneous length, because
+//! applications accept connections in bursts and the instantaneous length
+//! oscillates (§3.3.1). The paper sets `alpha` to one over twice the maximum
+//! local accept queue length (e.g. a max length of 64 gives `alpha = 1/128`).
+
+use serde::{Deserialize, Serialize};
+
+/// An exponentially weighted moving average over `f64` samples.
+///
+/// The filter computes `avg ← (1 − α)·avg + α·sample` on every
+/// [`update`](Ewma::update). Until the first sample arrives the average
+/// reads as the configured initial value.
+///
+/// # Examples
+///
+/// ```
+/// let mut e = metrics::Ewma::new(0.5);
+/// e.update(10.0); // first sample primes the average
+/// e.update(20.0);
+/// assert!((e.value() - 15.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    primed: bool,
+}
+
+impl Ewma {
+    /// Creates a filter with the given smoothing factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            value: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Creates the filter the paper uses for accept-queue tracking:
+    /// `alpha = 1 / (2 · max_local_queue_len)`.
+    #[must_use]
+    pub fn for_accept_queue(max_local_queue_len: usize) -> Self {
+        let denom = (2 * max_local_queue_len.max(1)) as f64;
+        Self::new(1.0 / denom)
+    }
+
+    /// Feeds one sample into the average.
+    pub fn update(&mut self, sample: f64) {
+        if self.primed {
+            self.value += self.alpha * (sample - self.value);
+        } else {
+            self.value = sample;
+            self.primed = true;
+        }
+    }
+
+    /// Current smoothed value (0.0 until the first sample).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The smoothing factor.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Whether at least one sample has been observed.
+    #[must_use]
+    pub fn is_primed(&self) -> bool {
+        self.primed
+    }
+
+    /// Resets the filter to its unprimed state.
+    pub fn reset(&mut self) {
+        self.value = 0.0;
+        self.primed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_primes() {
+        let mut e = Ewma::new(0.01);
+        assert!(!e.is_primed());
+        e.update(42.0);
+        assert!(e.is_primed());
+        assert_eq!(e.value(), 42.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.1);
+        for _ in 0..500 {
+            e.update(7.0);
+        }
+        assert!((e.value() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracks_long_term_level_through_oscillation() {
+        // The paper's rationale: a small alpha tracks the long-term queue
+        // length while the instantaneous length oscillates around it.
+        let mut e = Ewma::for_accept_queue(64);
+        for i in 0..10_000 {
+            let sample = if i % 2 == 0 { 30.0 } else { 34.0 };
+            e.update(sample);
+        }
+        assert!((e.value() - 32.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_alpha_for_max_len_64_is_1_over_128() {
+        let e = Ewma::for_accept_queue(64);
+        assert!((e.alpha() - 1.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_unprimes() {
+        let mut e = Ewma::new(0.5);
+        e.update(3.0);
+        e.reset();
+        assert!(!e.is_primed());
+        assert_eq!(e.value(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+}

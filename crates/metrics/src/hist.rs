@@ -1,0 +1,302 @@
+//! Log-bucketed latency histograms with percentile and CDF extraction.
+//!
+//! Used for Figure 4 (CDF of memory access latencies to shared cache lines)
+//! and for the §6.5 client-perceived connection-latency experiment (median
+//! and 90th percentile service times).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of linear sub-buckets per power-of-two bucket.
+const SUBBUCKETS: usize = 16;
+
+/// A histogram of `u64` samples (cycles, nanoseconds, …).
+///
+/// Buckets are log2-spaced with 16 linear sub-buckets each,
+/// giving a worst-case relative quantile error of about `1/16`. Recording
+/// is O(1) and allocation-free after construction.
+///
+/// # Examples
+///
+/// ```
+/// let mut h = metrics::Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((450..=560).contains(&p50));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUBBUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros() as usize;
+    let shift = msb - (SUBBUCKETS.trailing_zeros() as usize);
+    let sub = ((value >> shift) as usize) & (SUBBUCKETS - 1);
+    // Buckets 0..SUBBUCKETS are exact; each later power of two contributes
+    // SUBBUCKETS sub-buckets.
+    SUBBUCKETS + (msb - SUBBUCKETS.trailing_zeros() as usize) * SUBBUCKETS + sub
+}
+
+/// Lower bound of the value range covered by bucket `idx`.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBBUCKETS {
+        return idx as u64;
+    }
+    let log_sub = SUBBUCKETS.trailing_zeros() as usize;
+    let rel = idx - SUBBUCKETS;
+    let msb = log_sub + rel / SUBBUCKETS;
+    let sub = (rel % SUBBUCKETS) as u64;
+    (1u64 << msb) + (sub << (msb - log_sub))
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    #[must_use]
+    pub fn new() -> Self {
+        let nbuckets = bucket_index(u64::MAX) + 1;
+        Self {
+            buckets: vec![0; nbuckets],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        self.buckets[bucket_index(value)] += n;
+        self.count += n;
+        self.sum += u128::from(value) * u128::from(n);
+        if n > 0 {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the recorded samples, or 0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate value at percentile `p` (0–100), or 0 if empty.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_floor(idx).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Median sample value.
+    #[must_use]
+    pub fn median(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// Returns the CDF as `(value, cumulative_fraction)` points, one per
+    /// non-empty bucket, suitable for plotting Figure 4.
+    #[must_use]
+    pub fn cdf(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            out.push((bucket_floor(idx), seen as f64 / self.count as f64));
+        }
+        out
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Removes all samples.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_on_samples() {
+        let mut last = 0usize;
+        let mut v = 1u64;
+        while v < u64::MAX / 4 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index decreased at {v}");
+            last = idx;
+            v = v.saturating_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for idx in 0..400 {
+            let floor = bucket_floor(idx);
+            assert_eq!(bucket_index(floor), idx, "floor {floor} of bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.cdf().is_empty());
+    }
+
+    #[test]
+    fn exact_small_values() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(100.0), 15);
+    }
+
+    #[test]
+    fn percentile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0] {
+            let exact = (p / 100.0 * 100_000.0) as u64;
+            let approx = h.percentile(p);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.08, "p{p}: approx {approx} exact {exact}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let mut h = Histogram::new();
+        for v in [3u64, 9, 81, 6561, 100_000] {
+            h.record_n(v, 10);
+        }
+        let cdf = h.cdf();
+        assert!(!cdf.is_empty());
+        let mut prev = 0.0;
+        for &(_, f) in &cdf {
+            assert!(f >= prev);
+            prev = f;
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(100, 5);
+        b.record_n(200, 7);
+        a.merge(&b);
+        assert_eq!(a.count(), 12);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.min(), 100);
+    }
+
+    #[test]
+    fn mean_matches_sum() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Small numeric utilities used by the harness: means, percentiles over raw
+//! sample vectors, and linear fits for sanity checks.
+
+/// Arithmetic mean; 0 for an empty slice.
+#[must_use]
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+/// Exact percentile over raw samples (nearest-rank); 0 for an empty slice.
+#[must_use]
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Exact median over raw samples.
+#[must_use]
+pub fn median(samples: &[f64]) -> f64 {
+    percentile(samples, 50.0)
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+#[must_use]
+pub fn stddev(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(samples);
+    let var = samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+#[must_use]
+pub fn cv(samples: &[f64]) -> f64 {
+    let m = mean(samples);
+    if m == 0.0 {
+        0.0
+    } else {
+        stddev(samples) / m
+    }
+}
+
+/// Least-squares slope of `y` against `x`. Returns 0 for degenerate input.
+#[must_use]
+pub fn slope(x: &[f64], y: &[f64]) -> f64 {
+    if x.len() != y.len() || x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let num: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let den: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+        assert_eq!(percentile(&s, 90.0), 5.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 5.0);
+    }
+
+    #[test]
+    fn median_unsorted_input() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn stddev_constant_is_zero() {
+        assert_eq!(stddev(&[4.0, 4.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn slope_of_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        assert!((slope(&x, &y) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_degenerate() {
+        assert_eq!(slope(&[1.0], &[2.0]), 0.0);
+        assert_eq!(slope(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        assert_eq!(cv(&[0.0, 0.0]), 0.0);
+    }
+}

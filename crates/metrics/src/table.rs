@@ -1,0 +1,185 @@
+//! Plain-text table and series rendering for the benchmark harness.
+//!
+//! Every `bench` binary prints its table or figure data through these
+//! helpers so the output is uniform and diffable against EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A column-aligned plain-text table builder.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = metrics::table::Table::new(&["cores", "req/s/core"]);
+/// t.row(&["1", "12000"]);
+/// t.row(&["48", "9000"]);
+/// let s = t.render();
+/// assert!(s.contains("cores"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends one row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header underline and two-space gutters.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let _ = write!(out, "{cell:<w$}");
+                if i + 1 < widths.len() {
+                    out.push_str("  ");
+                }
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals, trimming `-0`.
+#[must_use]
+pub fn fnum(v: f64, decimals: usize) -> String {
+    let s = format!("{v:.decimals$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_owned()
+    } else {
+        s
+    }
+}
+
+/// Formats a cycle count the way the paper does: `97k` above 1,000, plain
+/// below.
+#[must_use]
+pub fn kfmt(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Renders an `(x, y)` series as two aligned columns, for figure data.
+#[must_use]
+pub fn series(name: &str, xlabel: &str, ylabel: &str, points: &[(f64, f64)]) -> String {
+    let mut t = Table::new(&[xlabel, ylabel]);
+    for (x, y) in points {
+        t.row_owned(vec![fnum(*x, 2), fnum(*y, 1)]);
+    }
+    format!("# {name}\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxx", "y"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn kfmt_thresholds() {
+        assert_eq!(kfmt(97_000.0), "97k");
+        assert_eq!(kfmt(714.0), "714");
+        assert_eq!(kfmt(999.4), "999");
+    }
+
+    #[test]
+    fn fnum_no_negative_zero() {
+        assert_eq!(fnum(-0.0001, 2), "0.00");
+        assert_eq!(fnum(-1.5, 1), "-1.5");
+    }
+
+    #[test]
+    fn series_contains_points() {
+        let s = series("fig", "x", "y", &[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(s.contains("# fig"));
+        assert!(s.contains("1.00"));
+        assert!(s.contains("4.0"));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(&["h"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains('h'));
+    }
+
+    #[test]
+    fn ragged_rows_render() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1"]);
+        t.row(&["1", "2", "3"]);
+        let r = t.render();
+        assert!(r.contains('3'));
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 5: features of contemporary 10 Gb NICs.
+//!
+//! The paper surveys hardware DMA ring counts, RSS-addressable ring
+//! counts, and flow-steering table sizes to argue that per-flow steering
+//! in hardware is impractical at hundreds of thousands of connections.
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NicSpec {
+    /// Vendor / product.
+    pub name: &'static str,
+    /// Hardware DMA rings.
+    pub hw_dma_rings: &'static str,
+    /// Rings addressable through RSS.
+    pub rss_dma_rings: &'static str,
+    /// Flow-steering table size (connections), if documented.
+    pub flow_steering_entries: Option<&'static str>,
+    /// Numeric steering capacity used by the simulation, if any.
+    pub steering_capacity: Option<usize>,
+}
+
+/// The NICs Table 5 compares.
+pub const CATALOG: [NicSpec; 4] = [
+    NicSpec {
+        name: "Intel 82599",
+        hw_dma_rings: "64",
+        rss_dma_rings: "16",
+        flow_steering_entries: Some("32K"),
+        steering_capacity: Some(32 * 1024),
+    },
+    NicSpec {
+        name: "Chelsio T4",
+        hw_dma_rings: "32 or 64",
+        rss_dma_rings: "32 or 64",
+        flow_steering_entries: Some("\"tens of thousands\""),
+        steering_capacity: Some(32 * 1024),
+    },
+    NicSpec {
+        name: "Solarflare",
+        hw_dma_rings: "32",
+        rss_dma_rings: "32",
+        flow_steering_entries: Some("8K"),
+        steering_capacity: Some(8 * 1024),
+    },
+    NicSpec {
+        name: "Myricom",
+        hw_dma_rings: "32",
+        rss_dma_rings: "32",
+        flow_steering_entries: None,
+        steering_capacity: None,
+    },
+];
+
+/// The spec of the card the evaluation machines use.
+#[must_use]
+pub fn ixgbe() -> NicSpec {
+    CATALOG[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ixgbe_matches_paper() {
+        let n = ixgbe();
+        assert_eq!(n.name, "Intel 82599");
+        assert_eq!(n.hw_dma_rings, "64");
+        assert_eq!(n.rss_dma_rings, "16");
+        assert_eq!(n.steering_capacity, Some(32768));
+    }
+
+    #[test]
+    fn four_rows_like_table5() {
+        assert_eq!(CATALOG.len(), 4);
+        assert!(CATALOG.iter().any(|n| n.name.contains("Myricom")));
+    }
+
+    #[test]
+    fn myricom_steering_unknown() {
+        let m = CATALOG.iter().find(|n| n.name == "Myricom").unwrap();
+        assert!(m.flow_steering_entries.is_none());
+    }
+}

@@ -1,0 +1,170 @@
+//! Packets and flow identification.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one hardware RX DMA ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RingId(pub u16);
+
+/// The flow-identification five-tuple the NIC hashes (§3.1). The protocol
+/// is always TCP in this reproduction, so it is omitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowTuple {
+    /// Client IP address.
+    pub src_ip: u32,
+    /// Server IP address.
+    pub dst_ip: u32,
+    /// Client (ephemeral) port — the low 12 bits select the flow group.
+    pub src_port: u16,
+    /// Server (listen) port.
+    pub dst_port: u16,
+}
+
+impl FlowTuple {
+    /// A client flow towards the standard server address.
+    #[must_use]
+    pub fn client(src_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        Self {
+            src_ip,
+            dst_ip: 0x0a00_00fe, // 10.0.0.254, the server
+            src_port,
+            dst_port,
+        }
+    }
+
+    /// The full five-tuple hash the card computes in its default mode.
+    #[must_use]
+    pub fn hash(&self) -> u64 {
+        let mut x = (u64::from(self.src_ip) << 32) | u64::from(self.dst_ip);
+        x ^= (u64::from(self.src_port) << 16) | u64::from(self.dst_port);
+        // SplitMix64 finalizer: a stand-in for the card's Toeplitz hash.
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The flow group: the paper reprograms the NIC's hash to use only the
+    /// low 12 bits of the source port, yielding 4,096 groups (§3.1).
+    #[must_use]
+    pub fn flow_group(&self, n_groups: u16) -> u16 {
+        (self.src_port & 0x0fff) % n_groups
+    }
+}
+
+/// TCP packet kinds on the simulated wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Connection-initiation request.
+    Syn,
+    /// The server's handshake response.
+    SynAck,
+    /// Handshake completion from the client.
+    Ack,
+    /// Client data (an HTTP request).
+    Data,
+    /// A bare acknowledgment of server data.
+    DataAck,
+    /// Connection teardown.
+    Fin,
+}
+
+/// Per-packet framing overhead on the wire: Ethernet preamble + header +
+/// CRC + inter-frame gap (38 bytes) plus IP (20) and TCP (20) headers.
+pub const WIRE_OVERHEAD_BYTES: u64 = 78;
+
+/// One packet on the simulated wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Flow identification.
+    pub tuple: FlowTuple,
+    /// What the packet is.
+    pub kind: PacketKind,
+    /// TCP payload length in bytes.
+    pub payload: u32,
+    /// Opaque application tag (the simulated HTTP layer uses it to carry
+    /// the requested file index — standing in for parsing the request).
+    pub tag: u32,
+}
+
+impl Packet {
+    /// Creates a packet with tag 0.
+    #[must_use]
+    pub fn new(tuple: FlowTuple, kind: PacketKind, payload: u32) -> Self {
+        Self {
+            tuple,
+            kind,
+            payload,
+            tag: 0,
+        }
+    }
+
+    /// Creates a packet carrying an application tag.
+    #[must_use]
+    pub fn tagged(tuple: FlowTuple, kind: PacketKind, payload: u32, tag: u32) -> Self {
+        Self {
+            tuple,
+            kind,
+            payload,
+            tag,
+        }
+    }
+
+    /// Bytes the packet occupies on the wire, including framing.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        u64::from(self.payload) + WIRE_OVERHEAD_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_flow_stable() {
+        let a = FlowTuple::client(1, 1000, 80);
+        let b = FlowTuple::client(1, 1000, 80);
+        assert_eq!(a.hash(), b.hash());
+        let c = FlowTuple::client(1, 1001, 80);
+        assert_ne!(a.hash(), c.hash());
+    }
+
+    #[test]
+    fn flow_group_uses_low_12_bits_of_src_port() {
+        let a = FlowTuple::client(1, 0x1234, 80);
+        let b = FlowTuple::client(99, 0xF234, 80); // same low 12 bits
+        assert_eq!(a.flow_group(4096), b.flow_group(4096));
+        assert_eq!(a.flow_group(4096), 0x0234);
+    }
+
+    #[test]
+    fn flow_groups_bounded() {
+        for port in [0u16, 1, 4095, 4096, 65535] {
+            let t = FlowTuple::client(1, port, 80);
+            assert!(t.flow_group(4096) < 4096);
+            assert!(t.flow_group(64) < 64);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_include_overhead() {
+        let p = Packet::new(FlowTuple::client(1, 2, 80), PacketKind::Data, 1000);
+        assert_eq!(p.wire_bytes(), 1078);
+        let syn = Packet::new(FlowTuple::client(1, 2, 80), PacketKind::Syn, 0);
+        assert_eq!(syn.wire_bytes(), WIRE_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn hash_spreads_ports() {
+        // Consecutive ports should not collide in the low bits of the hash.
+        let mut buckets = [0u32; 16];
+        for port in 0..4096u16 {
+            let h = FlowTuple::client(1, port, 80).hash();
+            buckets[(h & 15) as usize] += 1;
+        }
+        let min = *buckets.iter().min().unwrap();
+        let max = *buckets.iter().max().unwrap();
+        assert!(max < 2 * min, "hash skew: {buckets:?}");
+    }
+}

@@ -1,0 +1,148 @@
+//! The 10 Gb/s link model.
+//!
+//! The link is a serial resource, like a core or a lock: each packet
+//! occupies it for `wire_bytes × 8 / 10 Gb/s`, and a saturated link delays
+//! (and effectively bounds) everything behind it. This produces the NIC
+//! saturation the paper observes for lighttpd (Figure 3) and for average
+//! file sizes above ~1 KB (Figure 9).
+//!
+//! RX and TX share the modelled capacity: the evaluation's single port
+//! moves request, response, and acknowledgment traffic, and the observed
+//! saturation point (~4.5 Gb/s of payload at 12,000 requests/s/core,
+//! §6.6) corresponds to the combined framed byte stream.
+
+use sim::time::{Cycles, CPU_HZ};
+
+/// Link rate in bits per second.
+pub const LINK_BPS: u64 = 10_000_000_000;
+
+/// CPU cycles needed to move one byte across the link, as the reduced
+/// fraction `CPU_HZ · 8 / LINK_BPS` = 48/25 = 1.92 cycles/byte at 2.4 GHz.
+pub const CYCLES_PER_BYTE_NUM: u64 = 48;
+/// Denominator for the cycles-per-byte fraction.
+pub const CYCLES_PER_BYTE_DEN: u64 = 25;
+
+// The reduced fraction must equal CPU_HZ * 8 / LINK_BPS exactly.
+const _: () = assert!(CPU_HZ * 8 * CYCLES_PER_BYTE_DEN == LINK_BPS * CYCLES_PER_BYTE_NUM);
+
+/// The shared 10 Gb/s link.
+#[derive(Debug, Default)]
+pub struct Wire {
+    free_at: Cycles,
+    /// Total framed bytes moved.
+    pub bytes: u64,
+    /// Accumulated sub-cycle remainder (keeps long-run rate exact).
+    rem: u64,
+}
+
+impl Wire {
+    /// Creates an idle link.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves `bytes` across the link starting no earlier than `now`;
+    /// returns the completion time.
+    pub fn transfer(&mut self, now: Cycles, bytes: u64) -> Cycles {
+        let start = now.max(self.free_at);
+        let num = bytes * CYCLES_PER_BYTE_NUM + self.rem;
+        let dur = num / CYCLES_PER_BYTE_DEN;
+        self.rem = num % CYCLES_PER_BYTE_DEN;
+        let end = start + dur;
+        self.free_at = end;
+        self.bytes += bytes;
+        end
+    }
+
+    /// Time the link becomes free.
+    #[must_use]
+    pub fn free_at(&self) -> Cycles {
+        self.free_at
+    }
+
+    /// Utilization over a window ending at `window_end` (assuming the
+    /// window started at 0).
+    #[must_use]
+    pub fn utilization(&self, window_end: Cycles) -> f64 {
+        if window_end == 0 {
+            return 0.0;
+        }
+        let busy = (self.bytes * CYCLES_PER_BYTE_NUM / CYCLES_PER_BYTE_DEN) as f64;
+        (busy / window_end as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::time::CYCLES_PER_SEC;
+
+    #[test]
+    fn rate_is_10gbps() {
+        let mut w = Wire::new();
+        // 1.25 GB takes exactly one second at 10 Gb/s.
+        let end = w.transfer(0, 1_250_000_000);
+        assert_eq!(end, CYCLES_PER_SEC);
+    }
+
+    #[test]
+    fn serialization_under_load() {
+        let mut w = Wire::new();
+        let e1 = w.transfer(0, 1250); // ~2400 cycles
+        let e2 = w.transfer(0, 1250);
+        assert_eq!(e1, 2400);
+        assert_eq!(e2, 4800);
+    }
+
+    #[test]
+    fn idle_gaps_not_charged() {
+        let mut w = Wire::new();
+        w.transfer(0, 1250);
+        let end = w.transfer(1_000_000, 1250);
+        assert_eq!(end, 1_002_400);
+    }
+
+    #[test]
+    fn small_packets_accumulate_exactly() {
+        let mut w = Wire::new();
+        // 1000 one-byte transfers = 1000 bytes = 1920 cycles of occupancy.
+        let mut end = 0;
+        for _ in 0..1000 {
+            end = w.transfer(end, 1);
+        }
+        assert_eq!(end, 1920);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut w = Wire::new();
+        w.transfer(0, 625_000_000); // half a second of wire time
+        let u = w.utilization(CYCLES_PER_SEC);
+        assert!((u - 0.5).abs() < 1e-6, "{u}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Long-run rate is exact: the wire finishes `total` bytes no
+        /// earlier than the 10 Gb/s bound, within one cycle of slack per
+        /// transfer.
+        #[test]
+        fn rate_conservation(sizes in proptest::collection::vec(1u64..20_000, 1..200)) {
+            let mut w = Wire::new();
+            let mut end = 0;
+            for s in &sizes {
+                end = w.transfer(end, *s);
+            }
+            let total: u64 = sizes.iter().sum();
+            let exact = total * CYCLES_PER_BYTE_NUM / CYCLES_PER_BYTE_DEN;
+            prop_assert!(end >= exact.saturating_sub(1));
+            prop_assert!(end <= exact + 1);
+        }
+    }
+}

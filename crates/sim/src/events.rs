@@ -1,0 +1,199 @@
+//! Deterministic time-ordered event queue.
+//!
+//! Events are ordered by `(time, sequence)`, where the sequence number is
+//! assigned at push time; ties in simulated time therefore resolve in
+//! insertion order, keeping runs reproducible regardless of heap internals.
+
+use crate::time::Cycles;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key(Cycles, u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Key,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A min-heap of `(time, event)` pairs with stable FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// let mut q = sim::EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    last_popped: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: 0,
+        }
+    }
+
+    /// Schedules `event` at simulated time `at`.
+    pub fn push(&mut self, at: Cycles, event: E) {
+        let key = Key(at, self.seq);
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { key, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(
+            entry.key.0 >= self.last_popped,
+            "event time went backwards"
+        );
+        self.last_popped = entry.key.0;
+        Some((entry.key.0, entry.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|Reverse(e)| e.key.0)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+    }
+
+    #[test]
+    fn fifo_on_ties() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(5, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(7, ());
+        assert_eq!(q.peek_time(), Some(7));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(10, 'a');
+        q.push(50, 'e');
+        assert_eq!(q.pop(), Some((10, 'a')));
+        q.push(20, 'b');
+        q.push(30, 'c');
+        assert_eq!(q.pop(), Some((20, 'b')));
+        q.push(40, 'd');
+        assert_eq!(q.pop(), Some((30, 'c')));
+        assert_eq!(q.pop(), Some((40, 'd')));
+        assert_eq!(q.pop(), Some((50, 'e')));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn pops_are_globally_time_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(*t, i);
+            }
+            let mut last = 0;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+
+        #[test]
+        fn all_events_come_back(times in proptest::collection::vec(0u64..1_000, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(*t, i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, i)) = q.pop() {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+            prop_assert!(seen.iter().all(|s| *s));
+        }
+    }
+}

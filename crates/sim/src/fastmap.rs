@@ -1,0 +1,102 @@
+//! A fast, non-cryptographic hasher for the simulator's hot maps.
+//!
+//! The standard library's default SipHash shows up prominently in the
+//! simulator's profile (millions of object/connection lookups per
+//! simulated second); keys here are internal ids, not attacker-controlled,
+//! so an FxHash-style multiply hasher is appropriate.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style multiply-rotate hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Build-hasher for [`FxHasher`].
+pub type FxBuild = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, FxBuild>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_works() {
+        let mut m: FastMap<u64, u32> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        m.remove(&500);
+        assert_eq!(m.get(&500), None);
+    }
+
+    #[test]
+    fn distributes_sequential_keys() {
+        use std::hash::BuildHasher;
+        let b = FxBuild::default();
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            let h = b.hash_one(i);
+            buckets[(h % 64) as usize] += 1;
+        }
+        let min = buckets.iter().min().unwrap();
+        let max = buckets.iter().max().unwrap();
+        assert!(max < &(2 * min), "skew: {min} .. {max}");
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every random draw in the simulation flows from a [`SimRng`] seeded at
+//! configuration time, so a `(config, seed)` pair reproduces a run
+//! event-for-event. The generator is xoshiro256++ with SplitMix64 seeding —
+//! implemented locally (rather than via the `rand` crate's default
+//! generators) so determinism does not depend on external crate versions.
+
+/// A seeded xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Derives an independent child generator (for per-component streams).
+    #[must_use]
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let base = self.next_u64();
+        Self::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Lemire's multiply-shift with rejection for exact uniformity.
+        loop {
+            let x = self.next_u64();
+            let m = (u128::from(x)) * (u128::from(n));
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range lo > hi");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (for Poisson
+    /// inter-arrival times in the open-loop client).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u = loop {
+            let u = self.f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        -mean * u.ln()
+    }
+
+    /// Picks a uniformly random element index for a slice length.
+    pub fn index(&mut self, len: usize) -> usize {
+        self.below(len as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn below_in_bounds_and_covers() {
+        let mut r = SimRng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = SimRng::new(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..2000 {
+            let v = r.range(5, 8);
+            assert!((5..=8).contains(&v));
+            lo_seen |= v == 5;
+            hi_seen |= v == 8;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_mean_roughly_correct() {
+        let mut r = SimRng::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exp(50.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 50.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SimRng::new(100);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! A Linux-like periodic process load balancer.
+//!
+//! §4.2 of the paper leans on two properties of the Linux scheduler: it
+//! *does* migrate processes when it detects a run-queue imbalance, and it
+//! migrates *rarely* when load is close to even (so connections accepted by
+//! a process mostly keep their core affinity). This module reproduces that
+//! behaviour: on each periodic tick it compares run-queue lengths and moves
+//! at most one migratable task from the busiest to the idlest core when the
+//! imbalance exceeds a threshold.
+
+use crate::core_set::{CoreSet, TaskId};
+use crate::time::{ms, Cycles};
+use crate::topology::CoreId;
+
+/// Default balancing period. Linux balances idle cores much more often,
+/// but a few milliseconds matches the effective period for busy cores.
+pub const DEFAULT_PERIOD: Cycles = ms(4);
+
+/// Minimum run-queue length difference that triggers a migration.
+pub const DEFAULT_IMBALANCE_THRESHOLD: usize = 2;
+
+/// A migration performed by the balancer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// The task moved.
+    pub task: TaskId,
+    /// Core it was taken from.
+    pub from: CoreId,
+    /// Core it was moved to.
+    pub to: CoreId,
+    /// When the migration happened.
+    pub at: Cycles,
+}
+
+/// The process load balancer.
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    period: Cycles,
+    threshold: usize,
+    next_tick: Cycles,
+    migrations: Vec<Migration>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer with the default period and threshold.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_params(DEFAULT_PERIOD, DEFAULT_IMBALANCE_THRESHOLD)
+    }
+
+    /// Creates a balancer with explicit parameters.
+    #[must_use]
+    pub fn with_params(period: Cycles, threshold: usize) -> Self {
+        Self {
+            period,
+            threshold: threshold.max(1),
+            next_tick: period,
+            migrations: Vec::new(),
+        }
+    }
+
+    /// Time of the next balancing tick.
+    #[must_use]
+    pub fn next_tick(&self) -> Cycles {
+        self.next_tick
+    }
+
+    /// Migrations performed so far.
+    #[must_use]
+    pub fn migrations(&self) -> &[Migration] {
+        &self.migrations
+    }
+
+    /// Runs one balancing pass at time `now` over the first `active` cores.
+    ///
+    /// `is_migratable` filters pinned tasks (Apache's pinned worker
+    /// processes are never moved; lighttpd's processes are). Returns the
+    /// migration performed, if any, after advancing the tick schedule.
+    pub fn tick<F>(
+        &mut self,
+        now: Cycles,
+        cores: &mut CoreSet,
+        active: usize,
+        mut is_migratable: F,
+    ) -> Option<Migration>
+    where
+        F: FnMut(TaskId) -> bool,
+    {
+        self.next_tick = now + self.period;
+        let active = active.min(cores.len());
+        if active < 2 {
+            return None;
+        }
+        let (mut busiest, mut idlest) = (CoreId(0), CoreId(0));
+        let (mut max_load, mut min_load) = (usize::MIN, usize::MAX);
+        for i in 0..active {
+            let id = CoreId(i as u16);
+            let load = cores.load(id);
+            if load > max_load {
+                max_load = load;
+                busiest = id;
+            }
+            if load < min_load {
+                min_load = load;
+                idlest = id;
+            }
+        }
+        if max_load.saturating_sub(min_load) < self.threshold {
+            return None;
+        }
+        // Move the first migratable task from the busiest queue.
+        let candidate = cores
+            .core(busiest)
+            .run_queue
+            .iter()
+            .copied()
+            .find(|t| is_migratable(*t))?;
+        cores.remove(busiest, candidate);
+        cores.enqueue(idlest, candidate);
+        let m = Migration {
+            task: candidate,
+            from: busiest,
+            to: idlest,
+            at: now,
+        };
+        self.migrations.push(m);
+        Some(m)
+    }
+}
+
+impl Default for LoadBalancer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(loads: &[usize]) -> CoreSet {
+        let mut cs = CoreSet::new(loads.len());
+        let mut next = 0u32;
+        for (i, &n) in loads.iter().enumerate() {
+            for _ in 0..n {
+                cs.enqueue(CoreId(i as u16), TaskId(next));
+                next += 1;
+            }
+        }
+        cs
+    }
+
+    #[test]
+    fn balanced_load_never_migrates() {
+        let mut cs = setup(&[3, 3, 4, 3]);
+        let mut lb = LoadBalancer::new();
+        assert!(lb.tick(0, &mut cs, 4, |_| true).is_none());
+        assert!(lb.migrations().is_empty());
+    }
+
+    #[test]
+    fn imbalance_triggers_one_migration() {
+        let mut cs = setup(&[6, 0, 3, 3]);
+        let mut lb = LoadBalancer::new();
+        let m = lb.tick(ms(4), &mut cs, 4, |_| true).expect("migrates");
+        assert_eq!(m.from, CoreId(0));
+        assert_eq!(m.to, CoreId(1));
+        assert_eq!(cs.load(CoreId(0)), 5);
+        assert_eq!(cs.load(CoreId(1)), 1);
+    }
+
+    #[test]
+    fn pinned_tasks_are_skipped() {
+        let mut cs = setup(&[4, 0]);
+        let mut lb = LoadBalancer::new();
+        // Only task 2 is migratable.
+        let m = lb
+            .tick(0, &mut cs, 2, |t| t == TaskId(2))
+            .expect("migrates the migratable one");
+        assert_eq!(m.task, TaskId(2));
+        // All pinned: nothing moves.
+        let mut cs2 = setup(&[4, 0]);
+        let mut lb2 = LoadBalancer::new();
+        assert!(lb2.tick(0, &mut cs2, 2, |_| false).is_none());
+    }
+
+    #[test]
+    fn tick_advances_schedule() {
+        let mut cs = setup(&[0, 0]);
+        let mut lb = LoadBalancer::new();
+        assert_eq!(lb.next_tick(), DEFAULT_PERIOD);
+        lb.tick(ms(10), &mut cs, 2, |_| true);
+        assert_eq!(lb.next_tick(), ms(10) + DEFAULT_PERIOD);
+    }
+
+    #[test]
+    fn inactive_cores_ignored() {
+        // Core 2 is overloaded but outside the active set.
+        let mut cs = setup(&[1, 1, 9]);
+        let mut lb = LoadBalancer::new();
+        assert!(lb.tick(0, &mut cs, 2, |_| true).is_none());
+    }
+
+    #[test]
+    fn single_core_noop() {
+        let mut cs = setup(&[5]);
+        let mut lb = LoadBalancer::new();
+        assert!(lb.tick(0, &mut cs, 1, |_| true).is_none());
+    }
+}

@@ -1,0 +1,205 @@
+//! Machine topology and memory-hierarchy latencies (§6.1, Table 1).
+//!
+//! The paper evaluates on two machines:
+//!
+//! * **AMD**: eight 2.4 GHz 6-core Opteron 8431 chips (48 cores), 64 KB L1,
+//!   512 KB private L2, 6 MB shared L3 per chip, 8 GB DRAM per chip.
+//! * **Intel**: eight 2.4 GHz 10-core Xeon E7 8870 chips (80 cores), 32 KB
+//!   L1, 256 KB private L2, 30 MB shared L3 per chip, 32 GB DRAM per chip.
+//!
+//! Table 1 gives measured access latencies; remote numbers are between the
+//! two chips farthest apart on the interconnect.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one core on the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CoreId(pub u16);
+
+impl CoreId {
+    /// The core's index as a `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CoreId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Identifies one chip (socket / NUMA node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChipId(pub u16);
+
+/// Memory access latencies in cycles — the rows of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyProfile {
+    /// Local L1 hit.
+    pub l1: u64,
+    /// Local L2 hit.
+    pub l2: u64,
+    /// Local (same-chip shared) L3 hit.
+    pub l3: u64,
+    /// Local DRAM access.
+    pub ram: u64,
+    /// Remote chip's L3 (cache-to-cache transfer across the interconnect).
+    pub remote_l3: u64,
+    /// Remote chip's DRAM.
+    pub remote_ram: u64,
+}
+
+/// Table 1, AMD row.
+pub const AMD_LATENCIES: LatencyProfile = LatencyProfile {
+    l1: 3,
+    l2: 14,
+    l3: 28,
+    ram: 120,
+    remote_l3: 460,
+    remote_ram: 500,
+};
+
+/// Table 1, Intel row.
+pub const INTEL_LATENCIES: LatencyProfile = LatencyProfile {
+    l1: 4,
+    l2: 12,
+    l3: 24,
+    ram: 90,
+    remote_l3: 200,
+    remote_ram: 280,
+};
+
+/// A simulated multicore machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Human-readable name used in harness output.
+    pub name: String,
+    /// Total number of cores.
+    pub n_cores: usize,
+    /// Cores per chip (cores `0..cores_per_chip` are chip 0, and so on).
+    pub cores_per_chip: usize,
+    /// Memory-hierarchy latencies.
+    pub lat: LatencyProfile,
+    /// Hardware DMA rings available per NIC port (the 82599 exposes 64).
+    pub rings_per_nic_port: usize,
+    /// NIC ports provisioned (the Intel machine uses a second port beyond
+    /// 64 cores so every core can have a private DMA ring).
+    pub nic_ports: usize,
+}
+
+impl Machine {
+    /// The 48-core AMD machine (§6.1).
+    #[must_use]
+    pub fn amd48() -> Self {
+        Self {
+            name: "amd48".to_owned(),
+            n_cores: 48,
+            cores_per_chip: 6,
+            lat: AMD_LATENCIES,
+            rings_per_nic_port: 64,
+            nic_ports: 1,
+        }
+    }
+
+    /// The 80-core Intel machine (§6.1), provisioned with two NIC ports.
+    #[must_use]
+    pub fn intel80() -> Self {
+        Self {
+            name: "intel80".to_owned(),
+            n_cores: 80,
+            cores_per_chip: 10,
+            lat: INTEL_LATENCIES,
+            rings_per_nic_port: 64,
+            nic_ports: 2,
+        }
+    }
+
+    /// Number of chips.
+    #[must_use]
+    pub fn n_chips(&self) -> usize {
+        self.n_cores.div_ceil(self.cores_per_chip)
+    }
+
+    /// Which chip a core lives on.
+    #[must_use]
+    pub fn chip_of(&self, core: CoreId) -> ChipId {
+        ChipId((core.index() / self.cores_per_chip) as u16)
+    }
+
+    /// Whether two cores share a chip (and therefore an L3 cache).
+    #[must_use]
+    pub fn same_chip(&self, a: CoreId, b: CoreId) -> bool {
+        self.chip_of(a) == self.chip_of(b)
+    }
+
+    /// Iterator over all core ids.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> + use<> {
+        (0..self.n_cores as u16).map(CoreId)
+    }
+
+    /// Total hardware DMA rings available across provisioned NIC ports.
+    #[must_use]
+    pub fn total_rings(&self) -> usize {
+        self.rings_per_nic_port * self.nic_ports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amd_topology_matches_paper() {
+        let m = Machine::amd48();
+        assert_eq!(m.n_cores, 48);
+        assert_eq!(m.n_chips(), 8);
+        assert_eq!(m.lat.remote_l3, 460);
+        assert_eq!(m.lat.l1, 3);
+        assert_eq!(m.total_rings(), 64);
+    }
+
+    #[test]
+    fn intel_topology_matches_paper() {
+        let m = Machine::intel80();
+        assert_eq!(m.n_cores, 80);
+        assert_eq!(m.n_chips(), 8);
+        assert_eq!(m.lat.ram, 90);
+        assert_eq!(m.lat.remote_ram, 280);
+        // Two ports so that every one of the 80 cores can have a private
+        // DMA ring (§6.1).
+        assert!(m.total_rings() >= m.n_cores);
+    }
+
+    #[test]
+    fn chip_assignment() {
+        let m = Machine::amd48();
+        assert_eq!(m.chip_of(CoreId(0)), ChipId(0));
+        assert_eq!(m.chip_of(CoreId(5)), ChipId(0));
+        assert_eq!(m.chip_of(CoreId(6)), ChipId(1));
+        assert_eq!(m.chip_of(CoreId(47)), ChipId(7));
+        assert!(m.same_chip(CoreId(0), CoreId(5)));
+        assert!(!m.same_chip(CoreId(5), CoreId(6)));
+    }
+
+    #[test]
+    fn cores_iterator_covers_all() {
+        let m = Machine::intel80();
+        let v: Vec<_> = m.cores().collect();
+        assert_eq!(v.len(), 80);
+        assert_eq!(v[0], CoreId(0));
+        assert_eq!(v[79], CoreId(79));
+    }
+
+    #[test]
+    fn latencies_increase_with_distance() {
+        for lat in [AMD_LATENCIES, INTEL_LATENCIES] {
+            assert!(lat.l1 < lat.l2);
+            assert!(lat.l2 < lat.l3);
+            assert!(lat.l3 < lat.ram);
+            assert!(lat.ram < lat.remote_l3);
+            assert!(lat.remote_l3 < lat.remote_ram);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Instruction budgets and fixed miss counts per kernel entry point.
+//!
+//! The model charges each entry-point invocation:
+//!
+//! ```text
+//! cycles = instr                      (CPI ≈ 1 on these machines)
+//!        + extra_cycles               (pipeline effects, cold code)
+//!        + base_misses × local-DRAM   (untracked code/data misses)
+//!        + Σ tracked access latencies (the cache model — where the
+//!                                      Fine/Affinity difference lives)
+//! ```
+//!
+//! The constants below are calibrated so that an **Affinity-Accept** run at
+//! 48 cores reproduces Table 3's Affinity column (the paper's own ground
+//! truth for per-request instructions and cycles); Fine-Accept's larger
+//! numbers are *not* tabulated anywhere — they emerge from remote-cache
+//! latencies on the shared fields.
+//!
+//! Per-connection entries (accept, shutdown, close, …) are charged per
+//! invocation; Table 3 divides by requests (6 per connection in the base
+//! workload), which the harness reproduces.
+
+use metrics::perf::KernelEntry;
+
+/// Fixed cost profile of one entry-point invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryCost {
+    /// Which entry this is charged to.
+    pub entry: KernelEntry,
+    /// Instructions retired.
+    pub instr: u64,
+    /// Untracked L2 misses (code, stacks, auxiliary data) served from
+    /// local DRAM.
+    pub base_misses: u64,
+    /// Additional cycles beyond 1·instr and the miss stalls.
+    pub extra_cycles: u64,
+}
+
+impl EntryCost {
+    const fn new(entry: KernelEntry, instr: u64, base_misses: u64, extra_cycles: u64) -> Self {
+        Self {
+            entry,
+            instr,
+            base_misses,
+            extra_cycles,
+        }
+    }
+}
+
+/// `softirq_net_rx` handling a SYN: request-socket allocation, request
+/// hash insert, SYN-ACK emission.
+pub const SOFTIRQ_SYN: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 18_000, 75, 7_000);
+/// `softirq_net_rx` handling the handshake-completing ACK: child socket
+/// creation, established-table insert, accept-queue handoff.
+pub const SOFTIRQ_ACK_EST: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 19_000, 85, 7_500);
+/// `softirq_net_rx` handling a data segment (an HTTP request).
+pub const SOFTIRQ_DATA: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 17_000, 75, 6_000);
+/// `softirq_net_rx` handling a bare ACK of transmitted data.
+pub const SOFTIRQ_DATA_ACK: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 10_000, 48, 3_500);
+/// `softirq_net_rx` handling a FIN.
+pub const SOFTIRQ_FIN: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 12_000, 55, 4_500);
+/// `sys_read` of one HTTP request.
+pub const SYS_READ: EntryCost = EntryCost::new(KernelEntry::SysRead, 4_000, 26, 2_600);
+/// One context switch.
+pub const SCHEDULE: EntryCost = EntryCost::new(KernelEntry::Schedule, 8_200, 32, 3_600);
+/// `sys_accept4`, charged once per connection.
+pub const SYS_ACCEPT4: EntryCost = EntryCost::new(KernelEntry::SysAccept4, 12_500, 88, 12_000);
+/// `sys_writev` of one HTTP response.
+pub const SYS_WRITEV: EntryCost = EntryCost::new(KernelEntry::SysWritev, 4_200, 26, 3_200);
+/// One `sys_poll` invocation of the event loop / worker wait.
+pub const SYS_POLL: EntryCost = EntryCost::new(KernelEntry::SysPoll, 3_900, 13, 3_000);
+/// `sys_shutdown`, charged once per connection.
+pub const SYS_SHUTDOWN: EntryCost = EntryCost::new(KernelEntry::SysShutdown, 17_500, 40, 11_000);
+/// One futex wait/wake pair (Apache's worker handoff), per request.
+pub const SYS_FUTEX: EntryCost = EntryCost::new(KernelEntry::SysFutex, 8_100, 43, 3_200);
+/// `sys_close`, charged once per connection.
+pub const SYS_CLOSE: EntryCost = EntryCost::new(KernelEntry::SysClose, 11_800, 52, 6_200);
+/// RCU softirq work, amortized once per request.
+pub const SOFTIRQ_RCU: EntryCost = EntryCost::new(KernelEntry::SoftirqRcu, 204, 3, 39);
+/// `sys_fcntl` (non-blocking setup), charged once per connection.
+pub const SYS_FCNTL: EntryCost = EntryCost::new(KernelEntry::SysFcntl, 1_656, 0, 654);
+/// `sys_getsockname`, charged once per connection.
+pub const SYS_GETSOCKNAME: EntryCost = EntryCost::new(KernelEntry::SysGetsockname, 1_650, 6, 1_944);
+/// `sys_epoll_wait`, amortized once per request.
+pub const SYS_EPOLL_WAIT: EntryCost = EntryCost::new(KernelEntry::SysEpollWait, 600, 2, 1_160);
+
+/// Transmit-completion handling per response (driver TX ring cleanup).
+pub const SOFTIRQ_TX_COMPLETE: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 2_500, 10, 900);
+
+/// A standalone wakeup issued from softirq context.
+pub const WAKE: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 500, 2, 200);
+
+/// Requests per connection in the paper's base workload.
+pub const BASE_REQUESTS_PER_CONN: u32 = 6;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The per-request instruction totals should land near Table 3's
+    /// Affinity column for the base workload (6 requests per connection).
+    #[test]
+    fn per_request_instruction_budget_matches_table3() {
+        let rpc = f64::from(BASE_REQUESTS_PER_CONN);
+        // softirq net rx per request: one data + one data-ack, plus the
+        // handshake (SYN + ACK) and teardown (FIN) amortized.
+        let net_rx = SOFTIRQ_DATA.instr as f64
+            + SOFTIRQ_DATA_ACK.instr as f64
+            + (SOFTIRQ_SYN.instr + SOFTIRQ_ACK_EST.instr + SOFTIRQ_FIN.instr) as f64 / rpc;
+        assert!(
+            (net_rx - 34_000.0).abs() < 5_000.0,
+            "softirq instr/request {net_rx}"
+        );
+        let accept = SYS_ACCEPT4.instr as f64 / rpc;
+        assert!((accept - 2_200.0).abs() < 700.0, "accept4 {accept}");
+        let shutdown = SYS_SHUTDOWN.instr as f64 / rpc;
+        assert!((shutdown - 3_000.0).abs() < 500.0, "shutdown {shutdown}");
+        let close = SYS_CLOSE.instr as f64 / rpc;
+        assert!((close - 2_000.0).abs() < 300.0, "close {close}");
+    }
+
+    #[test]
+    fn entry_assignment_is_consistent() {
+        for c in [SOFTIRQ_SYN, SOFTIRQ_ACK_EST, SOFTIRQ_DATA, SOFTIRQ_DATA_ACK, SOFTIRQ_FIN] {
+            assert_eq!(c.entry, KernelEntry::SoftirqNetRx);
+        }
+        assert_eq!(SYS_READ.entry, KernelEntry::SysRead);
+        assert_eq!(SCHEDULE.entry, KernelEntry::Schedule);
+    }
+}

@@ -1,0 +1,78 @@
+//! Connection stealing under a load spike (§3.3.1).
+//!
+//! Drives the Affinity-Accept listen socket directly: one core is flooded
+//! with connections until it crosses the busy high-watermark, then a
+//! non-busy core accepts — watch the 5:1 proportional share between its
+//! own queue and the busy victim's.
+//!
+//! ```sh
+//! cargo run --release --example load_spike
+//! ```
+
+use affinity_accept_repro::prelude::*;
+use sim::topology::CoreId;
+
+fn establish(
+    s: &mut AffinityAccept,
+    k: &mut Kernel,
+    core: CoreId,
+    port: u16,
+    at: u64,
+) {
+    let tuple = FlowTuple::client(1, port, 80);
+    s.on_syn(k, core, at, tuple);
+    let (_, out) = s.on_ack(k, core, at + 1_000, tuple);
+    assert!(
+        matches!(out, affinity_accept::AckOutcome::Enqueued { .. }),
+        "queue overflowed"
+    );
+}
+
+fn main() {
+    let mut k = Kernel::new(Machine::amd48());
+    let mut cfg = ListenConfig::paper(4);
+    cfg.max_backlog = 64; // max local queue 16, busy above 12
+    let mut s = AffinityAccept::new(&mut k, cfg);
+
+    // Flood core 1 until it is marked busy.
+    let mut at = 0u64;
+    let mut port = 1000u16;
+    while !s.busy_tracker().is_busy(CoreId(1)) {
+        establish(&mut s, &mut k, CoreId(1), port, at);
+        port += 1;
+        at += 20_000;
+    }
+    println!(
+        "core 1 marked busy after {} enqueues (queue length {})",
+        port - 1000,
+        s.queued_on(CoreId(1))
+    );
+    println!("busy bit vector: {:#b}", s.busy_tracker().bitmap());
+
+    // Keep core 0 supplied with a trickle of local connections and let it
+    // accept 24 times; count where they came from.
+    let (mut local, mut stolen) = (0u32, 0u32);
+    for i in 0..24 {
+        if s.queued_on(CoreId(0)) < 2 {
+            establish(&mut s, &mut k, CoreId(0), port, at);
+            port += 1;
+            at += 20_000;
+        }
+        match s.try_accept(&mut k, CoreId(0), at + i * 30_000) {
+            AcceptOutcome::Accepted { stolen: st, item, .. } => {
+                if st {
+                    stolen += 1;
+                } else {
+                    local += 1;
+                }
+                // Finish the accept so the kernel state stays consistent.
+                tcp::ops::accept_established(&mut k, CoreId(0), at, item.conn, item.req_obj);
+            }
+            AcceptOutcome::Empty { .. } => {}
+        }
+    }
+    println!("core 0 accepted {local} local / {stolen} stolen (5:1 proportional share)");
+    assert!(local > stolen, "local connections keep priority");
+    assert!(stolen > 0, "busy victims do get relieved");
+    println!("stats: {:?}", s.stats());
+}

@@ -1,0 +1,7 @@
+#!/bin/bash
+cd /root/repo
+for b in fig5 fig6 table3 table4 fig4 fig2 table2 fig7 fig10 fig9 fig3 lb_latency lb_migration; do
+  echo "=== running $b at $(date +%H:%M:%S) ==="
+  ./target/release/$b > results/$b.txt 2> results/$b.err
+done
+echo FINAL_DONE
