@@ -150,7 +150,9 @@ impl BatchJob {
     /// Runtime so far (or total once finished).
     #[must_use]
     pub fn runtime(&self, now: Cycles) -> Cycles {
-        self.finished_at.unwrap_or(now).saturating_sub(self.started_at)
+        self.finished_at
+            .unwrap_or(now)
+            .saturating_sub(self.started_at)
     }
 }
 

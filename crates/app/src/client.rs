@@ -14,9 +14,9 @@ use crate::files::FileSet;
 use crate::workload::{Workload, REQUEST_BYTES};
 use metrics::Histogram;
 use nic::{FlowTuple, Packet, PacketKind};
+use sim::fastmap::FastMap;
 use sim::rng::SimRng;
 use sim::time::Cycles;
-use sim::fastmap::FastMap;
 
 /// Client-side connection id.
 pub type CConnId = u64;
@@ -75,6 +75,14 @@ pub struct Clients {
     pub timeouts: u64,
     /// Connections started during measurement.
     pub started: u64,
+    /// Connections started over the whole run (never reset; the
+    /// conservation audit balances this against finishes + live).
+    pub total_started: u64,
+    /// Connections finished normally over the whole run (never reset).
+    pub total_completed: u64,
+    /// Connections abandoned at the timeout over the whole run (never
+    /// reset).
+    pub total_timeouts: u64,
 }
 
 impl Clients {
@@ -95,6 +103,9 @@ impl Clients {
             responses: 0,
             timeouts: 0,
             started: 0,
+            total_started: 0,
+            total_completed: 0,
+            total_timeouts: 0,
         }
     }
 
@@ -160,6 +171,7 @@ impl Clients {
             },
         );
         self.by_tuple.insert(tuple, id);
+        self.total_started += 1;
         if self.measuring {
             self.started += 1;
         }
@@ -175,6 +187,11 @@ impl Clients {
     fn finish(&mut self, id: CConnId, now: Cycles, timed_out: bool) {
         if let Some(c) = self.conns.get_mut(&id) {
             c.state = CState::Done;
+            if timed_out {
+                self.total_timeouts += 1;
+            } else {
+                self.total_completed += 1;
+            }
             if self.measuring {
                 self.latencies.record(now - c.started);
                 if timed_out {
@@ -205,7 +222,8 @@ impl Clients {
                 c.state = CState::AwaitingResponse;
                 c.batch_idx = 0;
                 c.batch_left = self.wl.batches[0];
-                c.resp_remaining = i64::from(Workload::response_bytes(self.files.size(file as usize)));
+                c.resp_remaining =
+                    i64::from(Workload::response_bytes(self.files.size(file as usize)));
                 r.send.push(get);
             }
             (CState::AwaitingResponse, PacketKind::Data) => {
@@ -285,7 +303,13 @@ mod tests {
         Clients::new(Workload::base(), 7)
     }
 
-    fn respond(c: &mut Clients, now: Cycles, id: CConnId, tuple: FlowTuple, bytes: u32) -> Reaction {
+    fn respond(
+        c: &mut Clients,
+        now: Cycles,
+        id: CConnId,
+        tuple: FlowTuple,
+        bytes: u32,
+    ) -> Reaction {
         // Deliver the response as MSS-sized chunks.
         let mut left = bytes;
         loop {

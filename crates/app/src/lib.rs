@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod batch;
 pub mod client;
 pub mod files;
@@ -33,7 +34,8 @@ pub mod search;
 pub mod server;
 pub mod workload;
 
+pub use audit::RunAudit;
 pub use runner::{ListenKind, RunConfig, RunResult, Runner};
-pub use server::ServerKind;
 pub use search::{find_saturation, find_saturation_budgeted};
+pub use server::ServerKind;
 pub use workload::Workload;

@@ -12,24 +12,28 @@
 //! distributions) cover only the window, mirroring the paper's
 //! methodology of measuring at a discovered saturation rate (§6.2).
 
+use crate::audit::{
+    ClientAudit, CycleAudit, KernelAudit, ListenAudit, PacketAudit, RingAudit, RunAudit,
+};
 use crate::batch::BatchJob;
 use crate::client::{CConnId, Clients};
 use crate::server::{STask, ServerKind, TaskRole};
 use crate::workload::Workload;
 use affinity_accept::{
-    AcceptOutcome, AckOutcome, AffinityAccept, FineAccept, ListenConfig, ListenSocket,
-    StockAccept, TwentyPolicy,
+    AcceptOutcome, AckOutcome, AffinityAccept, FineAccept, ListenConfig, ListenSocket, StockAccept,
+    TwentyPolicy,
 };
 use metrics::lockstat::LockStat;
 use metrics::{Histogram, PerfCounters};
 use nic::packet::RingId;
 use nic::{Nic, Packet, PacketKind, RxOutcome, Steering};
 use sim::core_set::CoreSet;
+use sim::fastmap::FastMap;
+use sim::fingerprint::Fingerprint;
 use sim::rng::SimRng;
 use sim::time::{ms, us, Cycles, CYCLES_PER_SEC};
 use sim::topology::{CoreId, Machine};
 use sim::EventQueue;
-use sim::fastmap::FastMap;
 use tcp::{ops, ConnId, ConnState, Kernel};
 
 /// One-way client↔server propagation delay (LAN).
@@ -194,6 +198,12 @@ pub struct RunResult {
     pub migrations: u64,
     /// Wire utilization over the window.
     pub wire_util: f64,
+    /// Order-sensitive hash of the executed event stream: two runs of the
+    /// same `(config, seed)` must produce equal fingerprints (the
+    /// determinism tripwire `simcheck` and the golden tests rely on).
+    pub fingerprint: u64,
+    /// End-of-run conservation audit (see [`crate::audit`]).
+    pub audit: RunAudit,
     /// The kernel, for DProf and further inspection.
     pub kernel: Kernel,
 }
@@ -207,6 +217,7 @@ impl std::fmt::Debug for RunResult {
             .field("affinity_frac", &self.affinity_frac)
             .field("drops_overflow", &self.drops_overflow)
             .field("timeouts", &self.timeouts)
+            .field("fingerprint", &format_args!("{:#018x}", self.fingerprint))
             .finish_non_exhaustive()
     }
 }
@@ -262,6 +273,13 @@ pub struct Runner {
     end_at: Cycles,
     served: u64,
     affinity_served: u64,
+    fingerprint: Fingerprint,
+    /// Accepted outcomes observed (audit: must equal the listen socket's
+    /// local + stolen accept counters).
+    accepts_seen: u64,
+    /// Packets the softirq path dispatched (audit: must equal ring
+    /// dequeues).
+    dispatched: u64,
     base_listen: affinity_accept::listen::ListenStats,
     base_nic_drops: u64,
     base_wire_bytes: u64,
@@ -349,8 +367,9 @@ impl Runner {
         }
 
         let hog = cfg.hog_work.map(|work| {
-            let hog_cores: Vec<CoreId> =
-                (cfg.cores / 2..cfg.cores).map(|c| CoreId(c as u16)).collect();
+            let hog_cores: Vec<CoreId> = (cfg.cores / 2..cfg.cores)
+                .map(|c| CoreId(c as u16))
+                .collect();
             BatchJob::kernel_make(work, hog_cores, 0)
         });
 
@@ -384,6 +403,9 @@ impl Runner {
             end_at,
             served: 0,
             affinity_served: 0,
+            fingerprint: Fingerprint::new(),
+            accepts_seen: 0,
+            dispatched: 0,
             base_listen: Default::default(),
             base_nic_drops: 0,
             base_wire_bytes: 0,
@@ -510,7 +532,12 @@ impl Runner {
 
     /// Wakes acceptors after an enqueue on `queue_core`; returns extra
     /// softirq cycles (the wakeups are performed by the enqueuing core).
-    fn wake_acceptors(&mut self, queue_core: CoreId, softirq_core: CoreId, run_at: Cycles) -> Cycles {
+    fn wake_acceptors(
+        &mut self,
+        queue_core: CoreId,
+        softirq_core: CoreId,
+        run_at: Cycles,
+    ) -> Cycles {
         let mut buf = std::mem::take(&mut self.wake_buf);
         self.listen.wake_candidates(queue_core, &mut buf);
         let herd = self.listen.wakes_all_pollers() && self.cfg.server.poll_based();
@@ -634,6 +661,7 @@ impl Runner {
                 resume_at,
                 ..
             } => {
+                self.accepts_seen += 1;
                 let end = self.exec(core, resume_at, cycles);
                 let d = ops::accept_established(&mut self.k, core, end, item.conn, item.req_obj);
                 self.exec(core, end, d);
@@ -749,8 +777,8 @@ impl Runner {
             // *listen-socket* path, so it applies to roles that accept;
             // workers only touch per-connection state and yield on budget.
             let accepts = role != TaskRole::Worker;
-            let drifted = accepts
-                && self.cores.start_time(core, self.now) > self.now + RUNAHEAD_HORIZON;
+            let drifted =
+                accepts && self.cores.start_time(core, self.now) > self.now + RUNAHEAD_HORIZON;
             if has_work && (budget == 0 || drifted) {
                 // More to do, but the core is backed up: yield and come
                 // back when it frees.
@@ -893,6 +921,7 @@ impl Runner {
                 break;
             };
             budget -= 1;
+            self.dispatched += 1;
             let d = self.dispatch_packet(core, start, pkt);
             // Softirq work is not time-sliced against the batch job: it
             // runs in interrupt context, above any user thread.
@@ -904,6 +933,28 @@ impl Runner {
             let at = self.cores.core(core).busy_until.max(self.now);
             self.q.push(at, Ev::Softirq(ring));
         }
+    }
+
+    /// Folds one dispatched event into the run fingerprint as a
+    /// `(time, kind, payload)` triple. The payload identifies the event's
+    /// target (flow, ring, task, connection), so any reordering — across
+    /// time, across cores, or within a same-time tie — changes the hash.
+    fn fold_event(&mut self, t: Cycles, ev: &Ev) {
+        let (kind, payload) = match ev {
+            Ev::Arrival => (0, 0),
+            Ev::Wire(pkt) => (1, pkt.tuple.hash() ^ (pkt.kind as u64) << 60),
+            Ev::Softirq(ring) => (2, u64::from(*ring)),
+            Ev::TaskRun(tid) => (3, u64::from(*tid)),
+            Ev::Think(cid) => (4, *cid),
+            Ev::Timeout(cid) => (5, *cid),
+            Ev::ToClient(cid, pkt) => (6, *cid ^ u64::from(pkt.payload) << 32),
+            Ev::TxComplete(conn) => (7, conn.0),
+            Ev::Balance => (8, 0),
+            Ev::SchedBalance => (9, 0),
+            Ev::Hog(core) => (10, u64::from(*core)),
+            Ev::MeasureStart => (11, 0),
+        };
+        self.fingerprint.fold_event(t, kind, payload);
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -1069,6 +1120,7 @@ impl Runner {
                 }
             }
             self.now = t;
+            self.fold_event(t, &ev);
             self.handle(ev);
         }
         if std::env::var_os("RUNNER_DEBUG").is_some() {
@@ -1108,6 +1160,62 @@ impl Runner {
         self.k.cache.fold_all_live();
         let wire_delta = self.nic.wire.bytes - self.base_wire_bytes;
         let wire_util = (wire_delta as f64 * 1.92) / window as f64;
+
+        let ring_audits: Vec<RingAudit> = self
+            .nic
+            .rings()
+            .map(|r| RingAudit {
+                enqueued: r.enqueued,
+                dequeued: r.dequeued,
+                residual: r.len() as u64,
+                dropped: r.dropped,
+            })
+            .collect();
+        let busy_of = |c: usize| self.cores.core(CoreId(c as u16)).busy_cycles;
+        let audit = RunAudit {
+            client: ClientAudit {
+                started: self.clients.total_started,
+                completed: self.clients.total_completed,
+                timed_out: self.clients.total_timeouts,
+                live: self.clients.live() as u64,
+            },
+            listen: ListenAudit {
+                enqueued: stats_now.enqueued,
+                accepts_local: stats_now.accepts_local,
+                accepts_stolen: stats_now.accepts_stolen,
+                dropped_overflow: stats_now.dropped_overflow,
+                queued_residual: self.listen.total_queued() as u64,
+                runner_accepts: self.accepts_seen,
+            },
+            kernel: KernelAudit {
+                created: self.k.conns_created(),
+                removed: self.k.conns_removed(),
+                live: self.k.live_conns() as u64,
+                est_len: self.k.est.len() as u64,
+            },
+            packets: PacketAudit {
+                offered: self.nic.rx_offered,
+                enqueued: ring_audits.iter().map(|r| r.enqueued).sum(),
+                dequeued: ring_audits.iter().map(|r| r.dequeued).sum(),
+                residual: ring_audits.iter().map(|r| r.residual).sum(),
+                drops_ring_full: self.nic.drops_ring_full,
+                drops_flush: self.nic.drops_flush,
+                dispatched: self.dispatched,
+                rings: ring_audits,
+            },
+            cycles: CycleAudit {
+                cores: self.cfg.cores as u64,
+                window,
+                span: self.now.saturating_sub(self.cfg.warmup).max(window),
+                busy_window: (0..self.cfg.cores).map(|c| busy_of(c).min(window)).sum(),
+                busy_total: (0..self.cfg.cores).map(busy_of).sum(),
+                busy_max_core: (0..self.cfg.cores).map(busy_of).max().unwrap_or(0),
+            },
+            served,
+            perf_requests: self.k.perf.requests,
+            events_pending: self.q.len() as u64,
+        };
+
         RunResult {
             rps,
             rps_per_core: rps / self.cfg.cores as f64,
@@ -1129,6 +1237,8 @@ impl Runner {
             batch_runtime: self.hog.as_ref().map(|j| j.runtime(self.now)),
             migrations: listen_stats.flow_migrations,
             wire_util: wire_util.min(1.0),
+            fingerprint: self.fingerprint.value(),
+            audit,
             kernel: self.k,
         }
     }

@@ -28,22 +28,39 @@ fn drop_frac(r: &RunResult) -> f64 {
     (r.drops_overflow + r.drops_nic) as f64 / attempts as f64
 }
 
-/// Finds the saturation throughput for `cfg` (its `conn_rate` is used as
-/// the initial guess), running at most `max_runs` simulations. Returns
-/// the best result observed.
-#[must_use]
-pub fn find_saturation_budgeted(cfg: &RunConfig, max_runs: usize) -> RunResult {
-    let mut rate = cfg.conn_rate.max(100.0);
-    let mut best: Option<RunResult> = None;
+/// What one probe run tells the search: achieved throughput and the two
+/// saturation symptoms it steers by.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// Requests served per second at the probed rate.
+    pub rps: f64,
+    /// Aggregate idle fraction at the probed rate.
+    pub idle_frac: f64,
+    /// Fraction of connection attempts dropped.
+    pub drop_frac: f64,
+}
+
+/// The search engine behind [`find_saturation_budgeted`], generic over
+/// the probe so it can be unit-tested against a synthetic load curve:
+/// ramps geometrically until a probe saturates, then bisects the
+/// (unsaturated, saturated) bracket, returning the probe result with the
+/// highest observed throughput. Calls `probe` at most `max_runs` times.
+pub fn search_rates<T>(
+    initial_rate: f64,
+    max_runs: usize,
+    mut probe: impl FnMut(f64) -> (T, Observation),
+) -> T {
+    let mut rate = initial_rate.max(100.0);
+    let mut best: Option<(T, f64)> = None;
     let mut hi: Option<f64> = None;
     let mut lo = 0.0f64;
 
     for _ in 0..max_runs.max(1) {
-        let r = run_at(cfg, rate);
-        let saturated = r.idle_frac < SATURATION_IDLE || drop_frac(&r) > EXCESS_DROP_FRAC;
-        let better = best.as_ref().is_none_or(|b| r.rps > b.rps);
+        let (r, obs) = probe(rate);
+        let saturated = obs.idle_frac < SATURATION_IDLE || obs.drop_frac > EXCESS_DROP_FRAC;
+        let better = best.as_ref().is_none_or(|(_, b)| obs.rps > *b);
         if better {
-            best = Some(r);
+            best = Some((r, obs.rps));
         }
         if saturated {
             hi = Some(rate);
@@ -64,7 +81,23 @@ pub fn find_saturation_budgeted(cfg: &RunConfig, max_runs: usize) -> RunResult {
             }
         };
     }
-    best.expect("at least one run")
+    best.expect("at least one run").0
+}
+
+/// Finds the saturation throughput for `cfg` (its `conn_rate` is used as
+/// the initial guess), running at most `max_runs` simulations. Returns
+/// the best result observed.
+#[must_use]
+pub fn find_saturation_budgeted(cfg: &RunConfig, max_runs: usize) -> RunResult {
+    search_rates(cfg.conn_rate, max_runs, |rate| {
+        let r = run_at(cfg, rate);
+        let obs = Observation {
+            rps: r.rps,
+            idle_frac: r.idle_frac,
+            drop_frac: drop_frac(&r),
+        };
+        (r, obs)
+    })
 }
 
 /// [`find_saturation_budgeted`] with the default budget of 5 runs.
@@ -101,5 +134,64 @@ mod tests {
         assert!(r.rps > 4_000.0, "rps {}", r.rps);
         // And the machine should be near saturation.
         assert!(r.idle_frac < 0.4, "idle {}", r.idle_frac);
+    }
+
+    /// A server with a hard capacity knee: throughput tracks the offered
+    /// rate up to `capacity` and flatlines with drops beyond it.
+    fn knee_probe(capacity: f64) -> impl FnMut(f64) -> (f64, Observation) {
+        move |rate| {
+            let rps = rate.min(capacity);
+            let over = (rate - capacity).max(0.0);
+            let obs = Observation {
+                rps,
+                idle_frac: (1.0 - rate / capacity).max(0.0),
+                drop_frac: over / rate.max(1.0),
+            };
+            (rps, obs)
+        }
+    }
+
+    #[test]
+    fn search_respects_max_runs() {
+        for budget in [1usize, 2, 5, 12] {
+            let mut calls = 0usize;
+            let mut probe = knee_probe(50_000.0);
+            search_rates(200.0, budget, |rate| {
+                calls += 1;
+                probe(rate)
+            });
+            assert!(
+                calls <= budget && calls >= 1,
+                "budget {budget}: {calls} probe calls"
+            );
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        // A pure probe must yield an identical probe sequence and result.
+        let run = || {
+            let mut rates = Vec::new();
+            let mut probe = knee_probe(12_345.0);
+            let best = search_rates(300.0, 10, |rate| {
+                rates.push(rate.to_bits());
+                probe(rate)
+            });
+            (rates, best.to_bits())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn search_converges_on_synthetic_knee() {
+        // From a 50x-too-low guess and a 20x-too-high guess alike, the
+        // search must find the knee within the bisection tolerance.
+        for (capacity, guess) in [(40_000.0, 800.0), (40_000.0, 790_000.0), (1_500.0, 120.0)] {
+            let best = search_rates(guess, 16, knee_probe(capacity));
+            assert!(
+                best > 0.8 * capacity && best <= capacity,
+                "capacity {capacity} guess {guess}: converged to {best}"
+            );
+        }
     }
 }

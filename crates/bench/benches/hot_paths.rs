@@ -2,7 +2,9 @@
 //! model, the flow-steering tables, the accept-path operations of the
 //! three listen sockets, and the event queue.
 
-use affinity_accept::{AcceptOutcome, AffinityAccept, FineAccept, ListenConfig, ListenSocket, StockAccept};
+use affinity_accept::{
+    AcceptOutcome, AffinityAccept, FineAccept, ListenConfig, ListenSocket, StockAccept,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mem::layout::FieldTag;
 use mem::{CacheModel, DataType};
@@ -74,7 +76,13 @@ fn bench_accept_paths(c: &mut Criterion) {
                     at += 50_000;
                     match s.try_accept(&mut k, CoreId(0), at) {
                         AcceptOutcome::Accepted { item, .. } => {
-                            tcp::ops::accept_established(&mut k, CoreId(0), at, item.conn, item.req_obj);
+                            tcp::ops::accept_established(
+                                &mut k,
+                                CoreId(0),
+                                at,
+                                item.conn,
+                                item.req_obj,
+                            );
                             tcp::ops::sys_close(&mut k, CoreId(0), at, item.conn);
                             k.remove_conn(item.conn);
                         }
@@ -86,8 +94,14 @@ fn bench_accept_paths(c: &mut Criterion) {
             });
         };
     }
-    bench_impl!("stock", |k: &mut Kernel| StockAccept::new(k, ListenConfig::paper(4)));
-    bench_impl!("fine", |k: &mut Kernel| FineAccept::new(k, ListenConfig::paper(4)));
+    bench_impl!("stock", |k: &mut Kernel| StockAccept::new(
+        k,
+        ListenConfig::paper(4)
+    ));
+    bench_impl!("fine", |k: &mut Kernel| FineAccept::new(
+        k,
+        ListenConfig::paper(4)
+    ));
     bench_impl!("affinity", |k: &mut Kernel| AffinityAccept::new(
         k,
         ListenConfig::paper(4)

@@ -105,7 +105,13 @@ fn main() {
     print!("{}", t.render());
 
     println!("\nbacklog sensitivity (per-core accept queue):");
-    let mut t = Table::new(&["backlog/core", "req/s/core", "median (ms)", "drops", "timeouts"]);
+    let mut t = Table::new(&[
+        "backlog/core",
+        "req/s/core",
+        "median (ms)",
+        "drops",
+        "timeouts",
+    ]);
     for per_core in [16usize, 64, 128, 256] {
         let mut cfg = base();
         cfg.max_backlog = per_core * cfg.cores;

@@ -6,7 +6,10 @@ use bench::{base_config, intel_core_counts, sweep_saturation, throughput_series,
 use sim::topology::Machine;
 
 fn main() {
-    bench::header("fig6", "lighttpd, Intel machine: requests/sec/core vs cores");
+    bench::header(
+        "fig6",
+        "lighttpd, Intel machine: requests/sec/core vs cores",
+    );
     let xs = intel_core_counts();
     for listen in IMPLS {
         let cfgs = xs

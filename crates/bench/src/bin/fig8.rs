@@ -21,8 +21,8 @@ fn config_for(listen: ListenKind, think: Cycles) -> RunConfig {
     let lifetime = 5 * think + ms(60);
     let guess = rate_guess(listen, ServerKind::apache(), 48);
     // Apache needs one worker per concurrently active connection.
-    let concurrency_per_core = (guess * 6.0 / 48.0 * sim::time::to_secs(lifetime) * 1.4)
-        .max(1024.0) as usize;
+    let concurrency_per_core =
+        (guess * 6.0 / 48.0 * sim::time::to_secs(lifetime) * 1.4).max(1024.0) as usize;
     let server = ServerKind::ApacheWorker {
         workers_per_core: concurrency_per_core,
     };
@@ -37,7 +37,13 @@ fn main() {
         "fig8",
         "Apache throughput vs client think time (AMD, 48 cores, 6 req/conn)",
     );
-    let mut t = Table::new(&["think (ms)", "stock", "fine", "affinity", "live conns (affinity)"]);
+    let mut t = Table::new(&[
+        "think (ms)",
+        "stock",
+        "fine",
+        "affinity",
+        "live conns (affinity)",
+    ]);
     for think_ms in THINKS_MS {
         let think = ms_f(think_ms);
         let mut row = vec![format!("{think_ms}")];

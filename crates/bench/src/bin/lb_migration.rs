@@ -24,7 +24,11 @@ fn make_work() -> u64 {
 fn config(web: bool, migration: bool) -> RunConfig {
     let mut wl = Workload::base();
     wl.timeout = ms(2_500);
-    let rate = if web { 0.5 * 10_300.0 * 48.0 / 6.0 } else { 1.0 };
+    let rate = if web {
+        0.5 * 10_300.0 * 48.0 / 6.0
+    } else {
+        1.0
+    };
     let mut cfg = RunConfig::new(
         Machine::amd48(),
         48,
@@ -57,7 +61,12 @@ fn main() {
         ("make + web, migration", config(true, true)),
     ];
     let mut runtimes = Vec::new();
-    let mut t = Table::new(&["configuration", "make runtime (ms)", "vs alone", "migrations"]);
+    let mut t = Table::new(&[
+        "configuration",
+        "make runtime (ms)",
+        "vs alone",
+        "migrations",
+    ]);
     let mut base = None;
     for (name, cfg) in cases {
         let r = Runner::new(cfg).run();

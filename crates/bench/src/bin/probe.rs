@@ -64,7 +64,11 @@ fn main() {
         r.idle_frac * 100.0,
         r.affinity_frac * 100.0
     );
-    println!("live_conns={} completed={} ", r.kernel.live_conns(), r.conns_completed);
+    println!(
+        "live_conns={} completed={} ",
+        r.kernel.live_conns(),
+        r.conns_completed
+    );
     println!(
         "served={} drops_ovfl={} drops_nic={} timeouts={} enq={} local={} stolen={} migr={} wire={:.2}",
         r.served,
@@ -96,7 +100,14 @@ fn main() {
         kfmt(r.kernel.user_cycles as f64 / r.served.max(1) as f64),
     );
     if lockstat {
-        let mut t = Table::new(&["lock", "acq", "contended", "spin cyc", "mutex cyc", "hold cyc"]);
+        let mut t = Table::new(&[
+            "lock",
+            "acq",
+            "contended",
+            "spin cyc",
+            "mutex cyc",
+            "hold cyc",
+        ]);
         for (class, s) in r.lockstat.iter() {
             t.row_owned(vec![
                 class.label().into(),

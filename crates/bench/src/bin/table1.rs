@@ -52,7 +52,13 @@ fn measure(machine: &Machine) -> [u64; 6] {
 fn main() {
     bench::header("table1", "memory hierarchy access times (cycles)");
     let mut t = Table::new(&[
-        "machine", "L1", "L2", "L3", "RAM", "remote L3", "remote RAM",
+        "machine",
+        "L1",
+        "L2",
+        "L3",
+        "RAM",
+        "remote L3",
+        "remote RAM",
     ]);
     for machine in [Machine::amd48(), Machine::intel80()] {
         let lat = machine.lat;

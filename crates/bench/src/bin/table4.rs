@@ -54,7 +54,11 @@ fn main() {
                 "{:.0} / {:.0}",
                 fr.bytes_shared_rw_pct, ar.bytes_shared_rw_pct
             ),
-            format!("{} / {}", kfmt(fr.cycles_per_request), kfmt(ar.cycles_per_request)),
+            format!(
+                "{} / {}",
+                kfmt(fr.cycles_per_request),
+                kfmt(ar.cycles_per_request)
+            ),
         ]);
     }
     print!("{}", t.render());

@@ -26,7 +26,10 @@ fn main() {
 
     // Demonstrate the modelled limits for the 82599.
     let rss = RssTable::new(64);
-    println!("\n82599 model: RSS with 64 rings addresses {} distinct rings", rss.distinct_rings());
+    println!(
+        "\n82599 model: RSS with 64 rings addresses {} distinct rings",
+        rss.distinct_rings()
+    );
     let mut fdir = PerFlowTable::new(64, 32 * 1024);
     let mut flushes = 0;
     for h in 0..40_000u64 {

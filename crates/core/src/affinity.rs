@@ -52,7 +52,9 @@ impl AffinityAccept {
     /// Creates one clone per active core plus the busy tracker.
     pub fn new(k: &mut Kernel, cfg: ListenConfig) -> Self {
         let n = cfg.n_cores;
-        let queues = (0..n).map(|i| CloneQueue::new(k, CoreId(i as u16))).collect();
+        let queues = (0..n)
+            .map(|i| CloneQueue::new(k, CoreId(i as u16)))
+            .collect();
         let busy = BusyTracker::new(
             k,
             n,
@@ -105,13 +107,11 @@ impl AffinityAccept {
     fn next_victim(&self, core: CoreId) -> Option<usize> {
         let n = self.cfg.n_cores;
         let start = (self.last_victim[core.index()] + 1) % n;
-        (0..n)
-            .map(|i| (start + i) % n)
-            .find(|&v| {
-                v != core.index()
-                    && self.busy.is_busy(CoreId(v as u16))
-                    && !self.queues[v].items.is_empty()
-            })
+        (0..n).map(|i| (start + i) % n).find(|&v| {
+            v != core.index()
+                && self.busy.is_busy(CoreId(v as u16))
+                && !self.queues[v].items.is_empty()
+        })
     }
 
     /// Polling fallback (§3.3.1 "Polling"): before sleeping, scan remote
@@ -199,8 +199,7 @@ impl ListenSocket for AffinityAccept {
         // exist, every (ratio+1)-th accept goes remote.
         let ratio = self.cfg.steal_ratio_local;
         if !self_busy && self.cfg.stealing {
-            let steal_due =
-                local_len == 0 || self.share_ctr[me] % (ratio + 1) == ratio;
+            let steal_due = local_len == 0 || self.share_ctr[me] % (ratio + 1) == ratio;
             if steal_due {
                 if let Some(v) = self.next_victim(core) {
                     self.last_victim[me] = v;
@@ -418,12 +417,7 @@ mod tests {
         let mut s = AffinityAccept::new(&mut k, cfg);
         let mut at = 0u64;
         let mut port = 0u16;
-        fn fill(
-            s: &mut AffinityAccept,
-            k: &mut Kernel,
-            port: &mut u16,
-            at: &mut u64,
-        ) {
+        fn fill(s: &mut AffinityAccept, k: &mut Kernel, port: &mut u16, at: &mut u64) {
             // Keep both queues topped up; core 1 over its high watermark.
             while s.queued_on(CoreId(1)) < 7 {
                 establish(s, k, CoreId(1), *port, *at);
@@ -502,9 +496,7 @@ mod tests {
         loop {
             let mut progress = false;
             for c in 0..4u16 {
-                if let AcceptOutcome::Accepted { item, .. } =
-                    s.try_accept(&mut k, CoreId(c), at)
-                {
+                if let AcceptOutcome::Accepted { item, .. } = s.try_accept(&mut k, CoreId(c), at) {
                     assert!(accepted.insert(item.conn), "duplicate {:?}", item.conn);
                     progress = true;
                 }

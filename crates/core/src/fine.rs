@@ -112,11 +112,10 @@ impl ListenSocket for FineAccept {
             }
             self.rr[core.index()] = (qi + 1) % n;
             let deq = self.queues[qi].dequeue_access(k, core);
-            let (_, spin) = self.queues[qi].lock.run_locked(
-                at,
-                QUEUE_LOCK_HOLD + deq.latency,
-                &mut k.lockstat,
-            );
+            let (_, spin) =
+                self.queues[qi]
+                    .lock
+                    .run_locked(at, QUEUE_LOCK_HOLD + deq.latency, &mut k.lockstat);
             let item = self.queues[qi].items.pop_front().expect("non-empty");
             let stolen = qi != core.index();
             if stolen {
@@ -202,7 +201,13 @@ mod tests {
         // Fill every clone's queue.
         for c in 0..4u16 {
             for p in 0..3u16 {
-                establish(&mut s, &mut k, CoreId(c), c * 100 + p, u64::from(c * 100 + p) * 10_000);
+                establish(
+                    &mut s,
+                    &mut k,
+                    CoreId(c),
+                    c * 100 + p,
+                    u64::from(c * 100 + p) * 10_000,
+                );
             }
         }
         // Core 0 accepts repeatedly: items come from different clones.
@@ -228,10 +233,7 @@ mod tests {
             .collect();
         let min = durations.iter().min().unwrap();
         let max = durations.iter().max().unwrap();
-        assert!(
-            *max < min * 2,
-            "no serialization expected: {durations:?}"
-        );
+        assert!(*max < min * 2, "no serialization expected: {durations:?}");
     }
 
     #[test]

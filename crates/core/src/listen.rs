@@ -143,7 +143,10 @@ impl CloneQueue {
         let mut a = k
             .cache
             .access_tagged(core, self.sock, FieldTag::BothRwByRx, true);
-        a.add(k.cache.access_tagged(core, self.sock, FieldTag::BothRo, false));
+        a.add(
+            k.cache
+                .access_tagged(core, self.sock, FieldTag::BothRo, false),
+        );
         a
     }
 
@@ -152,7 +155,10 @@ impl CloneQueue {
         let mut a = k
             .cache
             .access_tagged(core, self.sock, FieldTag::BothRwByRx, false);
-        a.add(k.cache.access_tagged(core, self.sock, FieldTag::BothRwByApp, true));
+        a.add(
+            k.cache
+                .access_tagged(core, self.sock, FieldTag::BothRwByApp, true),
+        );
         a
     }
 }

@@ -84,10 +84,7 @@ impl ListenSocket for StockAccept {
         let acq = self.lock.lock_spin(at);
         let Some(req) = k.reqs.lookup(&tuple) else {
             self.lock.unlock(acq, EMPTY_SCAN_COST, 0, &mut k.lockstat);
-            return (
-                acq.spin_wait + EMPTY_SCAN_COST,
-                AckOutcome::DroppedOverflow,
-            );
+            return (acq.spin_wait + EMPTY_SCAN_COST, AckOutcome::DroppedOverflow);
         };
         if self.queue.items.len() >= self.cfg.max_backlog {
             // Queue overflow: Linux drops the ACK; the request eventually
@@ -97,13 +94,10 @@ impl ListenSocket for StockAccept {
             }
             self.stats.dropped_overflow += 1;
             self.lock.unlock(acq, EMPTY_SCAN_COST, 0, &mut k.lockstat);
-            return (
-                acq.spin_wait + EMPTY_SCAN_COST,
-                AckOutcome::DroppedOverflow,
-            );
+            return (acq.spin_wait + EMPTY_SCAN_COST, AckOutcome::DroppedOverflow);
         }
-        let (work, conn, req_obj) = ops::ack_establish(k, core, acq.entry, req, false)
-            .expect("request present");
+        let (work, conn, req_obj) =
+            ops::ack_establish(k, core, acq.entry, req, false).expect("request present");
         let enq = self.queue.enqueue_access(k, core);
         self.queue.items.push_back(AcceptItem { conn, req_obj });
         self.stats.enqueued += 1;
@@ -132,7 +126,8 @@ impl ListenSocket for StockAccept {
                 entry: resume_at,
                 spin_wait: 0,
             };
-            self.lock.unlock(acq, 0, mutex_wait.min(MUTEX_WAIT_CAP), &mut k.lockstat);
+            self.lock
+                .unlock(acq, 0, mutex_wait.min(MUTEX_WAIT_CAP), &mut k.lockstat);
             return AcceptOutcome::Empty {
                 cycles: lock_word.latency + k.lockstat.op_overhead(),
                 resume_at: at,

@@ -15,9 +15,9 @@
 use nic::packet::RingId;
 use nic::steering::PerFlowTable;
 use nic::FlowTuple;
+use sim::fastmap::FastMap;
 use sim::time::Cycles;
 use sim::topology::CoreId;
-use sim::fastmap::FastMap;
 use tcp::ConnId;
 
 /// Transmitted packets between FDir updates.

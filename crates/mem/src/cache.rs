@@ -325,7 +325,13 @@ impl CacheModel {
     /// # Panics
     ///
     /// Panics if the object is not live or the field index is out of range.
-    pub fn access_field(&mut self, core: CoreId, id: ObjId, field_idx: usize, write: bool) -> Access {
+    pub fn access_field(
+        &mut self,
+        core: CoreId,
+        id: ObjId,
+        field_idx: usize,
+        write: bool,
+    ) -> Access {
         let c = core.index();
         let my_chip = self.chip_of[c];
         let lat = self.machine.lat;
@@ -520,7 +526,10 @@ mod tests {
             shared_cost += m.access_field(c, shared, 0, true).latency;
             local_cost += m.access_field(C0, local, 0, true).latency;
         }
-        assert!(shared_cost > 5 * local_cost, "{shared_cost} vs {local_cost}");
+        assert!(
+            shared_cost > 5 * local_cost,
+            "{shared_cost} vs {local_cost}"
+        );
     }
 
     #[test]
@@ -531,8 +540,8 @@ mod tests {
         // home, then reading cleanly from a remote chip after invalidation.
         m.access_field(C0, id, 0, true);
         m.access_field(C6, id, 0, false); // remote_l3, now shared clean
-        // A third chip reads a clean line: same-chip? no; dirty? no; so it
-        // comes from the home node's DRAM (remote for chip 2).
+                                          // A third chip reads a clean line: same-chip? no; dirty? no; so it
+                                          // comes from the home node's DRAM (remote for chip 2).
         let c12 = CoreId(12);
         let a = m.access_field(c12, id, 0, false);
         // Clean data with a sharer on another chip: served from home DRAM.
@@ -564,7 +573,8 @@ mod tests {
         let mut m = model();
         let id = m.alloc(DataType::TcpSock, C0);
         let a = m.access_tagged(C0, id, layout::FieldTag::GlobalNode, true);
-        let n_globals = layout::fields_with_tag(DataType::TcpSock, layout::FieldTag::GlobalNode).len();
+        let n_globals =
+            layout::fields_with_tag(DataType::TcpSock, layout::FieldTag::GlobalNode).len();
         assert_eq!(a.l2_misses as usize, n_globals); // all cold
     }
 

@@ -52,10 +52,7 @@ impl FieldTag {
     pub fn shared_under_fine(self) -> bool {
         matches!(
             self,
-            FieldTag::BothRwByRx
-                | FieldTag::BothRwByApp
-                | FieldTag::BothRo
-                | FieldTag::GlobalNode
+            FieldTag::BothRwByRx | FieldTag::BothRwByApp | FieldTag::BothRo | FieldTag::GlobalNode
         )
     }
 
@@ -223,7 +220,10 @@ fn tcp_sock() -> Vec<Field> {
 /// read (and the buffer freed) on the app core.
 fn sk_buff() -> Vec<Field> {
     let mut b = Builder::new(DataType::SkBuff.size());
-    for (i, name) in ["skb_data_ptrs", "skb_len_state", "skb_cb"].iter().enumerate() {
+    for (i, name) in ["skb_data_ptrs", "skb_len_state", "skb_cb"]
+        .iter()
+        .enumerate()
+    {
         b.at_line(*name, i, 24, FieldTag::BothRwByRx);
         b.at(format!("skb_rx_priv_{i}"), i, 24, 40, FieldTag::RxOnly);
     }
@@ -463,7 +463,10 @@ fn build_tag_index() -> Vec<[Vec<u16>; 7]> {
 }
 
 fn type_pos(ty: DataType) -> usize {
-    DataType::ALL.iter().position(|t| *t == ty).expect("known type")
+    DataType::ALL
+        .iter()
+        .position(|t| *t == ty)
+        .expect("known type")
 }
 
 /// The field layout of a data type.

@@ -35,7 +35,10 @@ pub struct SlabAllocator {
 }
 
 fn type_index(ty: DataType) -> usize {
-    DataType::ALL.iter().position(|t| *t == ty).expect("known type")
+    DataType::ALL
+        .iter()
+        .position(|t| *t == ty)
+        .expect("known type")
 }
 
 impl SlabAllocator {

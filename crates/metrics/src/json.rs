@@ -1,0 +1,192 @@
+//! A minimal JSON writer for machine-readable reports.
+//!
+//! The harness has no serialization dependency (the workspace builds
+//! offline), so the few binaries that emit JSON — `simcheck` writes
+//! `results/simcheck.json` — build a [`Json`] tree and render it. Only
+//! what those reports need is implemented: objects keep insertion order,
+//! `u64` values are emitted exactly (not through `f64`, which would
+//! corrupt 64-bit fingerprints), and strings are escaped per RFC 8259.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer, emitted exactly.
+    U64(u64),
+    /// A signed integer, emitted exactly.
+    I64(i64),
+    /// A float; non-finite values render as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object to push keys into.
+    #[must_use]
+    pub fn obj() -> Self {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a key to an object (panics on non-objects — builder misuse).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Renders the value as a compact JSON document.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => out.push_str(&n.to_string()),
+            Json::I64(n) => out.push_str(&n.to_string()),
+            Json::F64(f) if f.is_finite() => out.push_str(&format!("{f}")),
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::U64(v.into())
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Self {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_document() {
+        let doc = Json::obj()
+            .field("name", "simcheck")
+            .field("ok", true)
+            .field("runs", 64u64)
+            .field("ratio", 0.5)
+            .field("items", vec![1u64, 2, 3])
+            .field("nested", Json::obj().field("x", Json::Null));
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"simcheck","ok":true,"runs":64,"ratio":0.5,"items":[1,2,3],"nested":{"x":null}}"#
+        );
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let fp = 0xdead_beef_dead_beef_u64;
+        assert_eq!(Json::U64(fp).render(), fp.to_string());
+        assert_eq!(Json::U64(u64::MAX).render(), "18446744073709551615");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).render(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod ewma;
 pub mod hist;
+pub mod json;
 pub mod lockstat;
 pub mod perf;
 pub mod stats;
@@ -29,5 +30,6 @@ pub mod table;
 
 pub use ewma::Ewma;
 pub use hist::Histogram;
+pub use json::Json;
 pub use lockstat::{LockClass, LockStat};
 pub use perf::{EntryCounters, KernelEntry, PerfCounters};

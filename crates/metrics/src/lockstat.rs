@@ -131,13 +131,7 @@ impl LockStat {
 
     /// Records one acquisition: `wait_spin`/`wait_mutex` cycles spent before
     /// entry and `hold` cycles of critical-section length.
-    pub fn record(
-        &mut self,
-        class: LockClass,
-        wait_spin: u64,
-        wait_mutex: u64,
-        hold: u64,
-    ) {
+    pub fn record(&mut self, class: LockClass, wait_spin: u64, wait_mutex: u64, hold: u64) {
         if !self.enabled {
             return;
         }

@@ -78,7 +78,10 @@ impl KernelEntry {
     }
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|e| *e == self).expect("entry in ALL")
+        Self::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("entry in ALL")
     }
 }
 

@@ -34,7 +34,8 @@ impl Table {
 
     /// Appends one row; missing cells render empty, extra cells are kept.
     pub fn row(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
     }
 
     /// Appends one row of already-owned cells.

@@ -64,6 +64,9 @@ pub struct Nic {
     pub drops_ring_full: u64,
     /// Packets dropped during an FDir flush stall.
     pub drops_flush: u64,
+    /// Total packets ever offered to [`Nic::rx`] (delivered or dropped);
+    /// the conservation audit balances this against ring enqueues + drops.
+    pub rx_offered: u64,
 }
 
 impl Nic {
@@ -72,10 +75,13 @@ impl Nic {
     pub fn new(n_rings: usize, steering: Steering) -> Self {
         Self {
             steering,
-            rings: (0..n_rings).map(|_| RxRing::new(rings::DEFAULT_RING_CAPACITY)).collect(),
+            rings: (0..n_rings)
+                .map(|_| RxRing::new(rings::DEFAULT_RING_CAPACITY))
+                .collect(),
             wire: Wire::new(),
             drops_ring_full: 0,
             drops_flush: 0,
+            rx_offered: 0,
         }
     }
 
@@ -95,6 +101,7 @@ impl Nic {
 
     /// Offers a packet arriving from the wire at `now`.
     pub fn rx(&mut self, now: Cycles, pkt: Packet) -> RxOutcome {
+        self.rx_offered += 1;
         if self.steering.rx_stalled_at(now) {
             self.drops_flush += 1;
             return RxOutcome::DroppedFlush;
@@ -132,6 +139,11 @@ impl Nic {
     #[must_use]
     pub fn queued(&self) -> usize {
         self.rings.iter().map(RxRing::len).sum()
+    }
+
+    /// Iterates over the active rings (for the conservation audit).
+    pub fn rings(&self) -> impl Iterator<Item = &RxRing> {
+        self.rings.iter()
     }
 }
 

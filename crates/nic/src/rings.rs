@@ -19,6 +19,8 @@ pub struct RxRing {
     capacity: usize,
     /// Total packets ever enqueued.
     pub enqueued: u64,
+    /// Total packets ever dequeued by the softirq side.
+    pub dequeued: u64,
     /// Total packets ever dropped on full.
     pub dropped: u64,
 }
@@ -31,6 +33,7 @@ impl RxRing {
             queue: VecDeque::with_capacity(capacity.min(1024)),
             capacity,
             enqueued: 0,
+            dequeued: 0,
             dropped: 0,
         }
     }
@@ -49,7 +52,11 @@ impl RxRing {
 
     /// Dequeues the oldest packet with its arrival time.
     pub fn pop(&mut self) -> Option<(Packet, Cycles)> {
-        self.queue.pop_front()
+        let item = self.queue.pop_front();
+        if item.is_some() {
+            self.dequeued += 1;
+        }
+        item
     }
 
     /// Packets currently queued.

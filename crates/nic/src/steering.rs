@@ -100,14 +100,14 @@ impl FlowGroupTable {
     /// are accepted here (two striped per-port tables).
     #[must_use]
     pub fn new(n_rings: usize, n_groups: u16) -> Self {
-        assert!(n_rings > 0 && n_rings <= 128, "FDir addresses 64 rings/port x 2 ports");
+        assert!(
+            n_rings > 0 && n_rings <= 128,
+            "FDir addresses 64 rings/port x 2 ports"
+        );
         let map = (0..n_groups)
             .map(|g| RingId((g as usize % n_rings) as u16))
             .collect();
-        Self {
-            map,
-            reprograms: 0,
-        }
+        Self { map, reprograms: 0 }
     }
 
     /// Number of flow groups.
@@ -219,8 +219,7 @@ impl PerFlowTable {
             // know which connections died), so it flushes everything.
             self.map.clear();
             self.flushes += 1;
-            self.stall_until =
-                now + FDIR_FLUSH_SCHEDULE_CYCLES + FDIR_FLUSH_RUN_CYCLES;
+            self.stall_until = now + FDIR_FLUSH_SCHEDULE_CYCLES + FDIR_FLUSH_RUN_CYCLES;
         }
         self.map.insert(hash, ring);
         self.inserts += 1;

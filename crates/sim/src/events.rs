@@ -82,10 +82,7 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         let Reverse(entry) = self.heap.pop()?;
-        debug_assert!(
-            entry.key.0 >= self.last_popped,
-            "event time went backwards"
-        );
+        debug_assert!(entry.key.0 >= self.last_popped, "event time went backwards");
         self.last_popped = entry.key.0;
         Some((entry.key.0, entry.event))
     }

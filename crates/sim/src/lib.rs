@@ -10,6 +10,9 @@
 //! * [`topology`] — chip/core layout and the memory-hierarchy latencies of
 //!   Table 1 ([`topology::Machine::amd48`], [`topology::Machine::intel80`]).
 //! * [`events`] — a deterministic time-ordered event queue.
+//! * [`fingerprint`] — order-sensitive FNV-1a hashes folded over the
+//!   executed event stream; equal configs and seeds must yield equal
+//!   fingerprints, making any lost determinism loud.
 //! * [`rng`] — a seeded, dependency-free PRNG so a `(config, seed)` pair
 //!   reproduces a run event-for-event.
 //! * [`lock`] — the timeline lock model: locks are resources with a
@@ -26,8 +29,9 @@
 #![warn(missing_docs)]
 
 pub mod core_set;
-pub mod fastmap;
 pub mod events;
+pub mod fastmap;
+pub mod fingerprint;
 pub mod lock;
 pub mod rng;
 pub mod sched;
@@ -35,8 +39,9 @@ pub mod time;
 pub mod topology;
 
 pub use core_set::{CoreSet, TaskId};
-pub use fastmap::FastMap;
 pub use events::EventQueue;
+pub use fastmap::FastMap;
+pub use fingerprint::Fingerprint;
 pub use lock::TimelineLock;
 pub use rng::SimRng;
 pub use time::Cycles;

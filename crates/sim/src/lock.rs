@@ -104,13 +104,7 @@ impl TimelineLock {
     ///
     /// `slept` is any mutex-mode (idle) wait the caller incurred before the
     /// acquisition, so Table 2 can separate spin wait from idle wait.
-    pub fn unlock(
-        &mut self,
-        acq: Acquired,
-        hold: Cycles,
-        slept: Cycles,
-        lockstat: &mut LockStat,
-    ) {
+    pub fn unlock(&mut self, acq: Acquired, hold: Cycles, slept: Cycles, lockstat: &mut LockStat) {
         let release_at = acq.entry + hold;
         debug_assert!(
             release_at >= self.free_at,

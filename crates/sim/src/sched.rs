@@ -208,3 +208,132 @@ mod tests {
         assert!(lb.tick(0, &mut cs, 1, |_| true).is_none());
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn setup(loads: &[usize]) -> CoreSet {
+        let mut cs = CoreSet::new(loads.len());
+        let mut next = 0u32;
+        for (i, &n) in loads.iter().enumerate() {
+            for _ in 0..n {
+                cs.enqueue(CoreId(i as u16), TaskId(next));
+                next += 1;
+            }
+        }
+        cs
+    }
+
+    fn imbalance(cs: &CoreSet, active: usize) -> usize {
+        let loads: Vec<usize> = (0..active).map(|i| cs.load(CoreId(i as u16))).collect();
+        loads.iter().max().unwrap() - loads.iter().min().unwrap()
+    }
+
+    /// Ticks until no migration happens; returns the migration count.
+    /// Callers keep `threshold >= 2`: at threshold 1 an odd two-core gap
+    /// ping-pongs one task forever (diff 1 >= 1 before and after every
+    /// move), so "migrations to converge" is not defined there.
+    fn converge(loads: &[usize], threshold: usize) -> usize {
+        let total: usize = loads.iter().sum();
+        let mut cs = setup(loads);
+        let mut lb = LoadBalancer::with_params(ms(4), threshold);
+        let mut t = 0;
+        while lb.tick(t, &mut cs, loads.len(), |_| true).is_some() {
+            t += ms(4);
+            assert!(
+                lb.migrations().len() <= total.max(1),
+                "balancer oscillates at threshold {threshold} for {loads:?}"
+            );
+        }
+        lb.migrations().len()
+    }
+
+    proptest! {
+        #[test]
+        fn never_migrates_below_threshold(
+            loads in proptest::collection::vec(0usize..12, 2..8),
+            threshold in 1usize..6,
+        ) {
+            let mut cs = setup(&loads);
+            let before = imbalance(&cs, loads.len());
+            prop_assume!(before < threshold);
+            let mut lb = LoadBalancer::with_params(ms(4), threshold);
+            prop_assert!(lb.tick(0, &mut cs, loads.len(), |_| true).is_none());
+            prop_assert!(lb.migrations().is_empty());
+        }
+
+        #[test]
+        fn migration_moves_busiest_to_idlest_and_never_widens_the_gap(
+            loads in proptest::collection::vec(0usize..12, 2..8),
+            threshold in 1usize..6,
+        ) {
+            let mut cs = setup(&loads);
+            let active = loads.len();
+            let before = imbalance(&cs, active);
+            let max_before = *loads.iter().max().unwrap();
+            let min_before = *loads.iter().min().unwrap();
+            let unique_max = loads.iter().filter(|&&l| l == max_before).count() == 1;
+            let unique_min = loads.iter().filter(|&&l| l == min_before).count() == 1;
+            let mut lb = LoadBalancer::with_params(ms(4), threshold);
+            if let Some(m) = lb.tick(0, &mut cs, active, |_| true) {
+                // A migration only ever fires at or above the threshold...
+                prop_assert!(before >= threshold);
+                // ...moves one task from a busiest core to an idlest core,
+                // strictly closing that pair's gap...
+                prop_assert_eq!(loads[m.from.index()], max_before);
+                prop_assert_eq!(loads[m.to.index()], min_before);
+                prop_assert_eq!(cs.load(m.from), max_before - 1);
+                prop_assert_eq!(cs.load(m.to), min_before + 1);
+                // ...and never widens the global imbalance; with a unique
+                // busiest and idlest core it strictly shrinks it.
+                let after = imbalance(&cs, active);
+                prop_assert!(after <= before);
+                if unique_max && unique_min {
+                    prop_assert!(after < before);
+                }
+            } else {
+                prop_assert!(before < threshold);
+            }
+        }
+
+        #[test]
+        fn repeated_ticks_converge_below_threshold(
+            loads in proptest::collection::vec(0usize..12, 2..8),
+            // Threshold 1 legitimately oscillates on an odd gap (see
+            // `converge`); convergence is only guaranteed from 2 up.
+            threshold in 2usize..6,
+        ) {
+            let total: usize = loads.iter().sum();
+            let mut cs = setup(&loads);
+            let mut lb = LoadBalancer::with_params(ms(4), threshold);
+            let mut ticks = 0usize;
+            let mut t = 0;
+            while lb.tick(t, &mut cs, loads.len(), |_| true).is_some() {
+                t += ms(4);
+                ticks += 1;
+                prop_assert!(ticks <= total, "balancer failed to converge");
+            }
+            prop_assert!(imbalance(&cs, loads.len()) < threshold);
+        }
+
+        #[test]
+        fn migration_count_is_monotone_in_two_core_skew(
+            low in 0usize..20,
+            gap in 0usize..20,
+            widen in 1usize..10,
+            threshold in 2usize..6,
+        ) {
+            // Two cores with the same total load: the more skewed split
+            // needs at least as many migrations to converge.
+            let base = converge(&[low + gap, low], threshold);
+            prop_assume!(low >= widen);
+            let skewed = converge(&[low + gap + widen, low - widen], threshold);
+            prop_assert!(
+                skewed >= base,
+                "skewed split converged in fewer migrations",
+            );
+        }
+    }
+}

@@ -56,7 +56,8 @@ pub const SOFTIRQ_ACK_EST: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx,
 /// `softirq_net_rx` handling a data segment (an HTTP request).
 pub const SOFTIRQ_DATA: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 17_000, 75, 6_000);
 /// `softirq_net_rx` handling a bare ACK of transmitted data.
-pub const SOFTIRQ_DATA_ACK: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 10_000, 48, 3_500);
+pub const SOFTIRQ_DATA_ACK: EntryCost =
+    EntryCost::new(KernelEntry::SoftirqNetRx, 10_000, 48, 3_500);
 /// `softirq_net_rx` handling a FIN.
 pub const SOFTIRQ_FIN: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 12_000, 55, 4_500);
 /// `sys_read` of one HTTP request.
@@ -85,7 +86,8 @@ pub const SYS_GETSOCKNAME: EntryCost = EntryCost::new(KernelEntry::SysGetsocknam
 pub const SYS_EPOLL_WAIT: EntryCost = EntryCost::new(KernelEntry::SysEpollWait, 600, 2, 1_160);
 
 /// Transmit-completion handling per response (driver TX ring cleanup).
-pub const SOFTIRQ_TX_COMPLETE: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 2_500, 10, 900);
+pub const SOFTIRQ_TX_COMPLETE: EntryCost =
+    EntryCost::new(KernelEntry::SoftirqNetRx, 2_500, 10, 900);
 
 /// A standalone wakeup issued from softirq context.
 pub const WAKE: EntryCost = EntryCost::new(KernelEntry::SoftirqNetRx, 500, 2, 200);
@@ -121,7 +123,13 @@ mod tests {
 
     #[test]
     fn entry_assignment_is_consistent() {
-        for c in [SOFTIRQ_SYN, SOFTIRQ_ACK_EST, SOFTIRQ_DATA, SOFTIRQ_DATA_ACK, SOFTIRQ_FIN] {
+        for c in [
+            SOFTIRQ_SYN,
+            SOFTIRQ_ACK_EST,
+            SOFTIRQ_DATA,
+            SOFTIRQ_DATA_ACK,
+            SOFTIRQ_FIN,
+        ] {
             assert_eq!(c.entry, KernelEntry::SoftirqNetRx);
         }
         assert_eq!(SYS_READ.entry, KernelEntry::SysRead);

@@ -15,9 +15,9 @@ use mem::{CacheModel, DataType, ObjId, SlabAllocator};
 use metrics::lockstat::LockStat;
 use metrics::PerfCounters;
 use nic::FlowTuple;
+use sim::fastmap::FastMap;
 use sim::time::Cycles;
 use sim::topology::{CoreId, Machine};
-use sim::fastmap::FastMap;
 
 /// Cache-model objects backing one application task (process or thread):
 /// its `task_struct` and its kernel stack.
@@ -56,6 +56,7 @@ pub struct Kernel {
     pub reqs: ReqTable,
     conns: FastMap<u64, Conn>,
     next_conn: u64,
+    conns_removed: u64,
     /// Static-content `file` objects (the served file set).
     pub files: Vec<ObjId>,
     /// Total user-space cycles spent (application request processing).
@@ -82,6 +83,7 @@ impl Kernel {
             reqs,
             conns: FastMap::default(),
             next_conn: 1,
+            conns_removed: 0,
             files: Vec::new(),
             user_cycles: 0,
             requests_done: 0,
@@ -154,13 +156,30 @@ impl Kernel {
 
     /// Removes a closed connection from the table.
     pub fn remove_conn(&mut self, id: ConnId) -> Option<Conn> {
-        self.conns.remove(&id.0)
+        let removed = self.conns.remove(&id.0);
+        if removed.is_some() {
+            self.conns_removed += 1;
+        }
+        removed
     }
 
     /// Number of live connections.
     #[must_use]
     pub fn live_conns(&self) -> usize {
         self.conns.len()
+    }
+
+    /// Total connections ever registered via [`Kernel::new_conn`]; the
+    /// conservation audit balances this against removals + live.
+    #[must_use]
+    pub fn conns_created(&self) -> u64 {
+        self.next_conn - 1
+    }
+
+    /// Total connections ever removed via [`Kernel::remove_conn`].
+    #[must_use]
+    pub fn conns_removed(&self) -> u64 {
+        self.conns_removed
     }
 
     /// Split-borrow helper used by the data-path ops: the connection map

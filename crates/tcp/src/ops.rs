@@ -63,8 +63,22 @@ fn lock_word_access(cache: &mut CacheModel, core: CoreId, sock: ObjId) -> Access
 /// these writes are what make `schedule`'s Table 3 row expensive there.
 fn wake_access(cache: &mut CacheModel, core: CoreId, target: &TaskObjs) -> Access {
     let mut acc = cache.access_tagged(core, target.ts, FieldTag::BothRwByRx, true);
-    acc.add(access_some(cache, core, target.stack, FieldTag::BothRwByRx, true, 4));
-    acc.add(access_some(cache, core, target.waitq, FieldTag::BothRwByRx, true, 1));
+    acc.add(access_some(
+        cache,
+        core,
+        target.stack,
+        FieldTag::BothRwByRx,
+        true,
+        4,
+    ));
+    acc.add(access_some(
+        cache,
+        core,
+        target.waitq,
+        FieldTag::BothRwByRx,
+        true,
+        1,
+    ));
     acc
 }
 
@@ -84,7 +98,10 @@ pub fn syn(
     tracked.add(k.cache.access_tagged(core, obj, FieldTag::RxOnly, true));
     tracked.add(k.cache.access_tagged(core, obj, FieldTag::BothRo, false));
     let head = k.reqs.bucket_head(&tuple);
-    tracked.add(k.cache.access_tagged(core, head, FieldTag::GlobalNode, true));
+    tracked.add(
+        k.cache
+            .access_tagged(core, head, FieldTag::GlobalNode, true),
+    );
     let mut spin = 0;
     let mut lock_overhead = 0;
     if fine_locks {
@@ -128,17 +145,36 @@ pub fn ack_establish(
         lock_overhead += k.lockstat.op_overhead();
     }
     let head = k.reqs.bucket_head(&tuple);
-    tracked.add(k.cache.access_tagged(core, head, FieldTag::GlobalNode, true));
+    tracked.add(
+        k.cache
+            .access_tagged(core, head, FieldTag::GlobalNode, true),
+    );
     let req_sock = k.reqs.remove(req)?;
     // Read the request state to build the child.
-    tracked.add(k.cache.access_tagged(core, req_sock.obj, FieldTag::BothRwByRx, false));
-    tracked.add(k.cache.access_tagged(core, req_sock.obj, FieldTag::BothRo, false));
+    tracked.add(
+        k.cache
+            .access_tagged(core, req_sock.obj, FieldTag::BothRwByRx, false),
+    );
+    tracked.add(
+        k.cache
+            .access_tagged(core, req_sock.obj, FieldTag::BothRo, false),
+    );
 
     // Create the child socket and initialize the packet-side state.
     let (sock, cost) = k.slab.alloc(core, DataType::TcpSock, &mut k.cache);
     tracked.add(cost);
-    tracked.add(k.cache.access_tagged(core, sock, FieldTag::BothRwByRx, true));
-    tracked.add(access_some(&mut k.cache, core, sock, FieldTag::RxOnly, true, 5));
+    tracked.add(
+        k.cache
+            .access_tagged(core, sock, FieldTag::BothRwByRx, true),
+    );
+    tracked.add(access_some(
+        &mut k.cache,
+        core,
+        sock,
+        FieldTag::RxOnly,
+        true,
+        5,
+    ));
     tracked.add(k.cache.access_tagged(core, sock, FieldTag::BothRo, false));
 
     // Insert into the established table under its bucket lock.
@@ -149,12 +185,21 @@ pub fn ack_establish(
     spin += w;
     lock_overhead += k.lockstat.op_overhead();
     let est_head = k.est.bucket_head(&tuple);
-    tracked.add(k.cache.access_tagged(core, est_head, FieldTag::GlobalNode, true));
-    tracked.add(k.cache.access_tagged(core, sock, FieldTag::GlobalNode, true));
+    tracked.add(
+        k.cache
+            .access_tagged(core, est_head, FieldTag::GlobalNode, true),
+    );
+    tracked.add(
+        k.cache
+            .access_tagged(core, sock, FieldTag::GlobalNode, true),
+    );
 
     let (meta, mcost) = k.slab.alloc(core, DataType::Slab128, &mut k.cache);
     tracked.add(mcost);
-    tracked.add(k.cache.access_tagged(core, meta, FieldTag::BothRwByRx, true));
+    tracked.add(
+        k.cache
+            .access_tagged(core, meta, FieldTag::BothRwByRx, true),
+    );
     let conn = k.new_conn(tuple, sock, core);
     k.conn_mut(conn).meta = Some(meta);
     k.est.insert(tuple, conn);
@@ -162,7 +207,14 @@ pub fn ack_establish(
     // cross-core write whenever the neighbour lives on another core.
     if let Some(nb) = k.est.chain_neighbor(&tuple, conn) {
         let nb_sock = k.conn(nb).sock;
-        tracked.add(access_some(&mut k.cache, core, nb_sock, FieldTag::GlobalNode, true, 2));
+        tracked.add(access_some(
+            &mut k.cache,
+            core,
+            nb_sock,
+            FieldTag::GlobalNode,
+            true,
+            2,
+        ));
     }
     let cycles = k.charge(costs::SOFTIRQ_ACK_EST, tracked);
     Some((cycles + spin + lock_overhead, conn, req_sock.obj))
@@ -174,8 +226,17 @@ fn est_lookup_access(k: &mut Kernel, core: CoreId, conn: ConnId) -> Access {
     let tuple = k.conn(conn).tuple;
     let sock = k.conn(conn).sock;
     let head = k.est.bucket_head(&tuple);
-    let mut acc = k.cache.access_tagged(core, head, FieldTag::GlobalNode, false);
-    acc.add(access_some(&mut k.cache, core, sock, FieldTag::GlobalNode, false, 1));
+    let mut acc = k
+        .cache
+        .access_tagged(core, head, FieldTag::GlobalNode, false);
+    acc.add(access_some(
+        &mut k.cache,
+        core,
+        sock,
+        FieldTag::GlobalNode,
+        false,
+        1,
+    ));
     acc
 }
 
@@ -200,14 +261,27 @@ pub fn data_rx(
     tracked.add(k.cache.access_tagged(core, skb, FieldTag::RxOnly, true));
     tracked.add(k.cache.access_tagged(core, skb, FieldTag::BothRo, true));
     tracked.add(k.cache.access_tagged(core, skb, FieldTag::GlobalNode, true));
-    tracked.add(access_some(&mut k.cache, core, page, FieldTag::BothRwByRx, true, 5));
+    tracked.add(access_some(
+        &mut k.cache,
+        core,
+        page,
+        FieldTag::BothRwByRx,
+        true,
+        5,
+    ));
 
     let (conns, p) = k.split();
     let conn_ref = conns.get_mut(&conn.0).expect("live connection");
     let sock = conn_ref.sock;
     tracked.add(lock_word_access(p.cache, core, sock));
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByRx, true));
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByApp, false));
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByRx, true),
+    );
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByApp, false),
+    );
     tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRo, false));
     tracked.add(access_some(p.cache, core, sock, FieldTag::RxOnly, true, 6));
     if let Some(t) = wake {
@@ -237,8 +311,14 @@ pub fn data_ack_rx(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> Cy
     // ACK processing walks the retransmit queue and updates congestion
     // state: it touches the full hot set of the socket.
     tracked.add(lock_word_access(p.cache, core, sock));
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByRx, true));
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByApp, false));
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByRx, true),
+    );
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByApp, false),
+    );
     tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRo, false));
     let chunks = std::mem::take(&mut conn_ref.tx_inflight.chunks);
     let skbs = std::mem::take(&mut conn_ref.tx_inflight.skbs);
@@ -246,7 +326,10 @@ pub fn data_ack_rx(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> Cy
     let (_, spin) = conn_ref.lock.run_locked(at, hold, p.lockstat);
     let lock_overhead = p.lockstat.op_overhead();
     for chunk in chunks {
-        tracked.add(p.cache.access_tagged(core, chunk, FieldTag::BothRwByApp, false));
+        tracked.add(
+            p.cache
+                .access_tagged(core, chunk, FieldTag::BothRwByApp, false),
+        );
         tracked.add(p.slab.free(core, chunk, p.cache));
     }
     for skb in skbs {
@@ -270,10 +353,16 @@ pub fn tx_complete(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> Cy
     let sock = conn_ref.sock;
     let mut tracked = lock_word_access(p.cache, core, sock);
     // Release wmem accounting and socket write state the app dirtied.
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByApp, false));
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByApp, false),
+    );
     let skbs = std::mem::take(&mut conn_ref.tx_inflight.skbs);
     for skb in skbs {
-        tracked.add(p.cache.access_tagged(core, skb, FieldTag::BothRwByRx, false));
+        tracked.add(
+            p.cache
+                .access_tagged(core, skb, FieldTag::BothRwByRx, false),
+        );
         tracked.add(p.slab.free(core, skb, p.cache));
     }
     charge_parts(p.machine, p.perf, costs::SOFTIRQ_TX_COMPLETE, tracked)
@@ -292,7 +381,14 @@ pub fn fin_rx(
     let conn_ref = conns.get_mut(&conn.0).expect("live connection");
     let sock = conn_ref.sock;
     tracked.add(lock_word_access(p.cache, core, sock));
-    tracked.add(access_some(p.cache, core, sock, FieldTag::BothRwByRx, true, 6));
+    tracked.add(access_some(
+        p.cache,
+        core,
+        sock,
+        FieldTag::BothRwByRx,
+        true,
+        6,
+    ));
     if let Some(t) = wake {
         tracked.add(wake_access(p.cache, core, t));
     }
@@ -319,20 +415,39 @@ pub fn accept_established(
     let mut tracked = Access::default();
     // Reading the request socket the packet side wrote: the 100%-shared
     // object of Table 4 under Fine-Accept.
-    tracked.add(k.cache.access_tagged(core, req_obj, FieldTag::BothRwByRx, false));
-    tracked.add(k.cache.access_tagged(core, req_obj, FieldTag::BothRo, false));
+    tracked.add(
+        k.cache
+            .access_tagged(core, req_obj, FieldTag::BothRwByRx, false),
+    );
+    tracked.add(
+        k.cache
+            .access_tagged(core, req_obj, FieldTag::BothRo, false),
+    );
     tracked.add(k.slab.free(core, req_obj, &mut k.cache));
     let (fd, cost) = k.slab.alloc(core, DataType::SocketFd, &mut k.cache);
     tracked.add(cost);
     tracked.add(k.cache.access_tagged(core, fd, FieldTag::GlobalNode, true));
-    tracked.add(access_some(&mut k.cache, core, fd, FieldTag::AppOnly, true, 4));
+    tracked.add(access_some(
+        &mut k.cache,
+        core,
+        fd,
+        FieldTag::AppOnly,
+        true,
+        4,
+    ));
     let sock = k.conn(conn).sock;
     tracked.add(k.cache.access_tagged(core, sock, FieldTag::BothRo, false));
     // accept() reads the state the handshake path initialized (sequence
     // numbers, windows) — all dirty on the packet-side core.
-    tracked.add(k.cache.access_tagged(core, sock, FieldTag::BothRwByRx, false));
+    tracked.add(
+        k.cache
+            .access_tagged(core, sock, FieldTag::BothRwByRx, false),
+    );
     if let Some(meta) = k.conn_mut(conn).meta.take() {
-        tracked.add(k.cache.access_tagged(core, meta, FieldTag::BothRwByRx, false));
+        tracked.add(
+            k.cache
+                .access_tagged(core, meta, FieldTag::BothRwByRx, false),
+        );
         tracked.add(k.slab.free(core, meta, &mut k.cache));
     }
     let c = k.conn_mut(conn);
@@ -352,15 +467,37 @@ pub fn sys_read(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> (Cycl
     let conn_ref = conns.get_mut(&conn.0).expect("live connection");
     let sock = conn_ref.sock;
     let mut tracked = lock_word_access(p.cache, core, sock);
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByApp, true));
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByRx, false));
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByApp, true),
+    );
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByRx, false),
+    );
     tracked.add(access_some(p.cache, core, sock, FieldTag::AppOnly, true, 4));
     let segs = std::mem::take(&mut conn_ref.rcv_queue);
     for seg in &segs {
-        tracked.add(p.cache.access_tagged(core, seg.skb, FieldTag::BothRwByRx, false));
-        tracked.add(p.cache.access_tagged(core, seg.skb, FieldTag::BothRo, false));
-        tracked.add(p.cache.access_tagged(core, seg.skb, FieldTag::GlobalNode, false));
-        tracked.add(access_some(p.cache, core, seg.page, FieldTag::BothRwByRx, false, 5));
+        tracked.add(
+            p.cache
+                .access_tagged(core, seg.skb, FieldTag::BothRwByRx, false),
+        );
+        tracked.add(
+            p.cache
+                .access_tagged(core, seg.skb, FieldTag::BothRo, false),
+        );
+        tracked.add(
+            p.cache
+                .access_tagged(core, seg.skb, FieldTag::GlobalNode, false),
+        );
+        tracked.add(access_some(
+            p.cache,
+            core,
+            seg.page,
+            FieldTag::BothRwByRx,
+            false,
+            5,
+        ));
     }
     let hold = CONN_LOCK_HOLD_BASE + tracked.latency;
     let (_, spin) = conn_ref.lock.run_locked(at, hold, p.lockstat);
@@ -394,7 +531,10 @@ pub fn sys_writev(
     for _ in 0..n_chunks {
         let (chunk, cost) = k.slab.alloc(core, DataType::Slab1024, &mut k.cache);
         tracked.add(cost);
-        tracked.add(k.cache.access_tagged(core, chunk, FieldTag::BothRwByApp, true));
+        tracked.add(
+            k.cache
+                .access_tagged(core, chunk, FieldTag::BothRwByApp, true),
+        );
         // Copy the response into the chunk: touches the whole payload
         // region (warm only if this core freed the chunk recently).
         tracked.add(k.cache.access_tagged(core, chunk, FieldTag::AppOnly, true));
@@ -410,10 +550,16 @@ pub fn sys_writev(
     let conn_ref = conns.get_mut(&conn.0).expect("live connection");
     let sock = conn_ref.sock;
     tracked.add(lock_word_access(p.cache, core, sock));
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByApp, true));
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByApp, true),
+    );
     // The transmit path consults receive-side state (rcv_wnd, ack status),
     // which the packet side keeps dirty.
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByRx, false));
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByRx, false),
+    );
     tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRo, false));
     tracked.add(access_some(p.cache, core, sock, FieldTag::AppOnly, true, 4));
     let hold = CONN_LOCK_HOLD_BASE + tracked.latency;
@@ -431,7 +577,10 @@ pub fn sys_poll(k: &mut Kernel, core: CoreId, at: Cycles, task: &TaskObjs) -> Cy
     let mut tracked = k
         .cache
         .access_tagged(core, task.waitq, FieldTag::BothRwByRx, false);
-    tracked.add(k.cache.access_tagged(core, task.waitq, FieldTag::GlobalNode, true));
+    tracked.add(
+        k.cache
+            .access_tagged(core, task.waitq, FieldTag::GlobalNode, true),
+    );
     k.charge(costs::SYS_POLL, tracked)
 }
 
@@ -450,15 +599,27 @@ pub fn sys_poll_conn(
     let mut tracked = k
         .cache
         .access_tagged(core, task.waitq, FieldTag::BothRwByRx, false);
-    tracked.add(k.cache.access_tagged(core, sock, FieldTag::BothRwByRx, false));
+    tracked.add(
+        k.cache
+            .access_tagged(core, sock, FieldTag::BothRwByRx, false),
+    );
     k.charge(costs::SYS_POLL, tracked)
 }
 
 /// One futex sleep/wake pair (Apache's acceptor→worker handoff).
 pub fn sys_futex_pair(k: &mut Kernel, core: CoreId, at: Cycles, task: &TaskObjs) -> Cycles {
     let _ = at;
-    let mut tracked = k.cache.access_tagged(core, task.ts, FieldTag::BothRwByRx, false);
-    tracked.add(access_some(&mut k.cache, core, task.waitq, FieldTag::BothRwByRx, true, 1));
+    let mut tracked = k
+        .cache
+        .access_tagged(core, task.ts, FieldTag::BothRwByRx, false);
+    tracked.add(access_some(
+        &mut k.cache,
+        core,
+        task.waitq,
+        FieldTag::BothRwByRx,
+        true,
+        1,
+    ));
     k.charge(costs::SYS_FUTEX, tracked)
 }
 
@@ -466,8 +627,17 @@ pub fn sys_futex_pair(k: &mut Kernel, core: CoreId, at: Cycles, task: &TaskObjs)
 /// fields the (possibly remote) waker wrote.
 pub fn schedule_in(k: &mut Kernel, core: CoreId, at: Cycles, task: &TaskObjs) -> Cycles {
     let _ = at;
-    let mut tracked = k.cache.access_tagged(core, task.ts, FieldTag::BothRwByRx, true);
-    tracked.add(access_some(&mut k.cache, core, task.stack, FieldTag::BothRwByRx, true, 4));
+    let mut tracked = k
+        .cache
+        .access_tagged(core, task.ts, FieldTag::BothRwByRx, true);
+    tracked.add(access_some(
+        &mut k.cache,
+        core,
+        task.stack,
+        FieldTag::BothRwByRx,
+        true,
+        4,
+    ));
     k.charge(costs::SCHEDULE, tracked)
 }
 
@@ -477,7 +647,10 @@ pub fn sys_shutdown(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> (
     let conn_ref = conns.get_mut(&conn.0).expect("live connection");
     let sock = conn_ref.sock;
     let mut tracked = lock_word_access(p.cache, core, sock);
-    tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRwByApp, true));
+    tracked.add(
+        p.cache
+            .access_tagged(core, sock, FieldTag::BothRwByApp, true),
+    );
     tracked.add(access_some(p.cache, core, sock, FieldTag::AppOnly, true, 3));
     let hold = CONN_LOCK_HOLD_BASE + tracked.latency;
     let (_, spin) = conn_ref.lock.run_locked(at, hold, p.lockstat);
@@ -498,15 +671,27 @@ pub fn sys_close(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> Cycl
     let spin = w;
     let lock_overhead = k.lockstat.op_overhead();
     let head = k.est.bucket_head(&tuple);
-    let mut tracked = k.cache.access_tagged(core, head, FieldTag::GlobalNode, true);
+    let mut tracked = k
+        .cache
+        .access_tagged(core, head, FieldTag::GlobalNode, true);
     // Unlinking writes the neighbour's linkage fields.
     if let Some(nb) = k.est.chain_neighbor(&tuple, conn) {
         let nb_sock = k.conn(nb).sock;
-        tracked.add(access_some(&mut k.cache, core, nb_sock, FieldTag::GlobalNode, true, 2));
+        tracked.add(access_some(
+            &mut k.cache,
+            core,
+            nb_sock,
+            FieldTag::GlobalNode,
+            true,
+            2,
+        ));
     }
     k.est.remove(&tuple);
     let sock = k.conn(conn).sock;
-    tracked.add(k.cache.access_tagged(core, sock, FieldTag::GlobalNode, true));
+    tracked.add(
+        k.cache
+            .access_tagged(core, sock, FieldTag::GlobalNode, true),
+    );
     // Drain anything the client left unread / unacknowledged.
     let (conns, p) = k.split();
     let conn_ref = conns.get_mut(&conn.0).expect("live connection");
@@ -542,16 +727,14 @@ pub fn sys_close(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> Cycl
 /// `file` object), and builds the response. Costs `app_cycles` of user
 /// time plus the tracked accesses; charged to user time, not to a kernel
 /// entry.
-pub fn app_request(
-    k: &mut Kernel,
-    core: CoreId,
-    file_idx: usize,
-    app_cycles: Cycles,
-) -> Cycles {
+pub fn app_request(k: &mut Kernel, core: CoreId, file_idx: usize, app_cycles: Cycles) -> Cycles {
     let mut tracked = Access::default();
     if !k.files.is_empty() {
         let file = k.files[file_idx % k.files.len()];
-        tracked.add(k.cache.access_tagged(core, file, FieldTag::GlobalNode, true));
+        tracked.add(
+            k.cache
+                .access_tagged(core, file, FieldTag::GlobalNode, true),
+        );
     }
     let cycles = app_cycles + tracked.latency;
     k.user_cycles += cycles;

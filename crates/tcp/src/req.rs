@@ -14,9 +14,9 @@ use mem::{CacheModel, DataType, ObjId};
 use metrics::lockstat::LockClass;
 use nic::FlowTuple;
 use serde::{Deserialize, Serialize};
+use sim::fastmap::FastMap;
 use sim::lock::TimelineLock;
 use sim::topology::CoreId;
-use sim::fastmap::FastMap;
 
 /// Identifies a pending connection request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]

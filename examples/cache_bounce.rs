@@ -20,11 +20,19 @@ fn simulate_requests(cache: &mut CacheModel, rx: CoreId, app: CoreId, n: u32) ->
     let mut cycles = 0;
     for _ in 0..n {
         // Packet side: write receive state, read send state.
-        cycles += cache.access_tagged(rx, sock, FieldTag::BothRwByRx, true).latency;
-        cycles += cache.access_tagged(rx, sock, FieldTag::BothRwByApp, false).latency;
+        cycles += cache
+            .access_tagged(rx, sock, FieldTag::BothRwByRx, true)
+            .latency;
+        cycles += cache
+            .access_tagged(rx, sock, FieldTag::BothRwByApp, false)
+            .latency;
         // Application side: read receive state, write send state.
-        cycles += cache.access_tagged(app, sock, FieldTag::BothRwByRx, false).latency;
-        cycles += cache.access_tagged(app, sock, FieldTag::BothRwByApp, true).latency;
+        cycles += cache
+            .access_tagged(app, sock, FieldTag::BothRwByRx, false)
+            .latency;
+        cycles += cache
+            .access_tagged(app, sock, FieldTag::BothRwByApp, true)
+            .latency;
     }
     cache.free(sock);
     cycles
@@ -40,9 +48,21 @@ fn main() {
     let cross_chip = simulate_requests(&mut cache, CoreId(0), CoreId(12), N);
 
     println!("cycles spent on tcp_sock state for {N} request round-trips:");
-    println!("  same core (Affinity-Accept):   {:>9}  ({:.1} cyc/request)", local, local as f64 / f64::from(N));
-    println!("  same chip, different core:     {:>9}  ({:.1} cyc/request)", same_chip, same_chip as f64 / f64::from(N));
-    println!("  different chips (Fine-Accept): {:>9}  ({:.1} cyc/request)", cross_chip, cross_chip as f64 / f64::from(N));
+    println!(
+        "  same core (Affinity-Accept):   {:>9}  ({:.1} cyc/request)",
+        local,
+        local as f64 / f64::from(N)
+    );
+    println!(
+        "  same chip, different core:     {:>9}  ({:.1} cyc/request)",
+        same_chip,
+        same_chip as f64 / f64::from(N)
+    );
+    println!(
+        "  different chips (Fine-Accept): {:>9}  ({:.1} cyc/request)",
+        cross_chip,
+        cross_chip as f64 / f64::from(N)
+    );
     println!(
         "\ncross-chip is {:.0}x the single-core cost — the paper's Table 4\n\
          measures exactly this bouncing on the production workload",

@@ -1,0 +1,25 @@
+//! Times repeated runs of one end-to-end config (fingerprint overhead check).
+use affinity_accept_repro::prelude::*;
+use sim::time::ms;
+
+fn main() {
+    let mut total = 0u64;
+    let start = std::time::Instant::now();
+    for seed in 0..6u64 {
+        let mut cfg = RunConfig::new(
+            Machine::amd48(),
+            16,
+            ListenKind::Affinity,
+            ServerKind::apache(),
+            Workload::base(),
+            30_000.0,
+        );
+        cfg.warmup = ms(250);
+        cfg.measure = ms(200);
+        cfg.tracked_files = 200;
+        cfg.seed = seed + 1;
+        let r = Runner::new(cfg).run();
+        total += r.served;
+    }
+    println!("served={total} elapsed={:?}", start.elapsed());
+}

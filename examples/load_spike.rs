@@ -12,13 +12,7 @@
 use affinity_accept_repro::prelude::*;
 use sim::topology::CoreId;
 
-fn establish(
-    s: &mut AffinityAccept,
-    k: &mut Kernel,
-    core: CoreId,
-    port: u16,
-    at: u64,
-) {
+fn establish(s: &mut AffinityAccept, k: &mut Kernel, core: CoreId, port: u16, at: u64) {
     let tuple = FlowTuple::client(1, port, 80);
     s.on_syn(k, core, at, tuple);
     let (_, out) = s.on_ack(k, core, at + 1_000, tuple);
@@ -59,7 +53,9 @@ fn main() {
             at += 20_000;
         }
         match s.try_accept(&mut k, CoreId(0), at + i * 30_000) {
-            AcceptOutcome::Accepted { stolen: st, item, .. } => {
+            AcceptOutcome::Accepted {
+                stolen: st, item, ..
+            } => {
                 if st {
                     stolen += 1;
                 } else {

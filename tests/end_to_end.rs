@@ -66,7 +66,10 @@ fn fine_pays_more_network_stack_cycles_than_affinity() {
         .iter()
         .map(|e| fine.perf.per_request(*e).1)
         .sum();
-    assert!((fi - ai).abs() / ai < 0.25, "instr fine {fi:.0} vs aff {ai:.0}");
+    assert!(
+        (fi - ai).abs() / ai < 0.25,
+        "instr fine {fi:.0} vs aff {ai:.0}"
+    );
 }
 
 #[test]
@@ -77,8 +80,12 @@ fn runs_are_deterministic() {
     assert_eq!(a.conns_completed, b.conns_completed);
     assert_eq!(a.drops_overflow, b.drops_overflow);
     assert_eq!(
-        a.perf.entry(metrics::perf::KernelEntry::SoftirqNetRx).cycles,
-        b.perf.entry(metrics::perf::KernelEntry::SoftirqNetRx).cycles,
+        a.perf
+            .entry(metrics::perf::KernelEntry::SoftirqNetRx)
+            .cycles,
+        b.perf
+            .entry(metrics::perf::KernelEntry::SoftirqNetRx)
+            .cycles,
     );
 }
 

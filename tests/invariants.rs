@@ -19,8 +19,7 @@ fn run(listen: ListenKind, cores: usize, rate: f64, seed: u64) -> RunResult {
     cfg.measure = ms(150);
     cfg.seed = seed;
     cfg.tracked_files = 50;
-    cfg
-        .let_run()
+    cfg.let_run()
 }
 
 trait RunExt {

@@ -66,8 +66,7 @@ fn migration_moves_flow_groups_and_reduces_stealing() {
     assert!(with_migration.migrations > 0, "groups migrated");
     // Once groups move, connections arrive on non-hogged cores directly.
     assert!(
-        with_migration.listen_stats.accepts_stolen
-            < steal_only.listen_stats.accepts_stolen,
+        with_migration.listen_stats.accepts_stolen < steal_only.listen_stats.accepts_stolen,
         "migration reduces stealing: {} vs {}",
         with_migration.listen_stats.accepts_stolen,
         steal_only.listen_stats.accepts_stolen

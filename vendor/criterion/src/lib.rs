@@ -1,0 +1,143 @@
+//! Offline stub of `criterion`.
+//!
+//! Implements the group / `bench_function` / `iter` surface the
+//! `hot_paths` bench uses, timing each benchmark with `std::time::Instant`
+//! and printing a median-of-samples nanoseconds-per-iteration line. No
+//! statistics engine, plots, or baselines — enough to keep the bench
+//! compiling and to give a usable perf signal offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching real criterion's convenience.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 60;
+/// Target wall-clock time per sample while calibrating iteration counts.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// The benchmark manager handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), DEFAULT_SAMPLES, f);
+        self
+    }
+}
+
+/// A named group sharing a sample-size setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (printing nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate: grow the per-sample iteration count until one sample
+    // takes long enough to time meaningfully.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+            break;
+        }
+        iters = (iters * 4).min(1 << 24);
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!("{name:<40} median {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1}, {iters} iters x {samples} samples)");
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,21 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on value types but
+//! never invokes a serializer (report output is hand-rolled JSON in
+//! `metrics::json`), so this stub only has to make the derives compile.
+//! The real traits carry serializer/deserializer methods; here they are
+//! empty marker traits, and the derive macros (re-exported from the
+//! sibling `serde_derive` stub) emit empty impls.
+//!
+//! Swap this for the real crates.io `serde` by restoring the registry
+//! dependency in the workspace `Cargo.toml`; no call sites change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
