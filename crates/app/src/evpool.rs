@@ -1,0 +1,166 @@
+//! Allocation support for the event loop's hot path.
+//!
+//! The event queue moves millions of entries per run, so the runner keeps
+//! its `Ev` enum at most 16 bytes. The two payloads that do not fit — the
+//! 24-byte [`Packet`] carried by in-flight wire events — are interned in a
+//! [`PktSlab`] and referenced by a `u32` handle; and per-connection client
+//! timeouts are *generation-stamped* via [`LazyTimers`] so a completed
+//! connection's timer dies in place when popped instead of being searched
+//! for and removed.
+
+use nic::Packet;
+
+/// A free-list slab of in-flight packets.
+///
+/// Every packet event holds exactly one slab slot from push to pop, so
+/// the slab's high-water mark is the peak number of in-flight packet
+/// events and slots recycle for the whole run after the first ramp-up.
+#[derive(Debug, Default)]
+pub struct PktSlab {
+    slots: Vec<Packet>,
+    free: Vec<u32>,
+    /// Debug-only occupancy tracking: catches double-takes and stale
+    /// handles, which would silently alias packets in release builds.
+    #[cfg(debug_assertions)]
+    live: Vec<bool>,
+}
+
+impl PktSlab {
+    /// Stores `pkt` and returns its handle.
+    pub fn intern(&mut self, pkt: Packet) -> u32 {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = pkt;
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(!self.live[i as usize]);
+                self.live[i as usize] = true;
+            }
+            i
+        } else {
+            let i = u32::try_from(self.slots.len()).expect("packet slab overflow");
+            self.slots.push(pkt);
+            #[cfg(debug_assertions)]
+            self.live.push(true);
+            i
+        }
+    }
+
+    /// Reads the packet behind `handle` without releasing the slot.
+    #[must_use]
+    pub fn get(&self, handle: u32) -> &Packet {
+        #[cfg(debug_assertions)]
+        debug_assert!(self.live[handle as usize], "stale packet handle");
+        &self.slots[handle as usize]
+    }
+
+    /// Removes and returns the packet behind `handle`, freeing the slot.
+    pub fn take(&mut self, handle: u32) -> Packet {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(self.live[handle as usize], "double take");
+            self.live[handle as usize] = false;
+        }
+        self.free.push(handle);
+        self.slots[handle as usize]
+    }
+
+    /// Packets currently interned.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Empties the slab, retaining capacity for the next run.
+    pub fn reset(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        #[cfg(debug_assertions)]
+        self.live.clear();
+    }
+}
+
+/// Generation stamps for lazily cancelled per-connection timers.
+///
+/// Arming a timer records the connection's current generation in the
+/// event; cancelling bumps the generation. A popped timer whose stamp no
+/// longer matches is stale and is dropped without dispatch — O(1) cancel
+/// with no searching the queue.
+#[derive(Debug, Default)]
+pub struct LazyTimers {
+    gens: Vec<u32>,
+}
+
+impl LazyTimers {
+    /// Arms the timer for `id`, returning the generation to stamp into
+    /// the scheduled event.
+    pub fn arm(&mut self, id: u64) -> u32 {
+        let i = usize::try_from(id).expect("timer id overflow");
+        if i >= self.gens.len() {
+            self.gens.resize(i + 1, 0);
+        }
+        self.gens[i]
+    }
+
+    /// Cancels `id`'s armed timer: any event stamped with the old
+    /// generation becomes stale.
+    pub fn cancel(&mut self, id: u64) {
+        let i = usize::try_from(id).expect("timer id overflow");
+        if i >= self.gens.len() {
+            self.gens.resize(i + 1, 0);
+        }
+        self.gens[i] = self.gens[i].wrapping_add(1);
+    }
+
+    /// Whether an event stamped `gen` for `id` is still the armed timer.
+    #[must_use]
+    pub fn is_current(&self, id: u64, gen: u32) -> bool {
+        self.gens.get(id as usize).copied() == Some(gen)
+    }
+
+    /// Clears all generations, retaining capacity for the next run.
+    pub fn reset(&mut self) {
+        self.gens.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nic::{FlowTuple, PacketKind};
+
+    fn pkt(payload: u32) -> Packet {
+        Packet::new(FlowTuple::client(1, 2, 3), PacketKind::Data, payload)
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut slab = PktSlab::default();
+        let a = slab.intern(pkt(1));
+        let b = slab.intern(pkt(2));
+        assert_eq!(slab.get(a).payload, 1);
+        assert_eq!(slab.take(a).payload, 1);
+        assert_eq!(slab.live(), 1);
+        let c = slab.intern(pkt(3));
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(slab.get(b).payload, 2);
+        assert_eq!(slab.get(c).payload, 3);
+        slab.reset();
+        assert_eq!(slab.live(), 0);
+    }
+
+    #[test]
+    fn timers_go_stale_on_cancel() {
+        let mut t = LazyTimers::default();
+        let g = t.arm(7);
+        assert!(t.is_current(7, g));
+        t.cancel(7);
+        assert!(!t.is_current(7, g));
+        let g2 = t.arm(7);
+        assert_ne!(g, g2);
+        assert!(t.is_current(7, g2));
+        // Unknown ids are never current.
+        assert!(!t.is_current(99, 0));
+        t.reset();
+        assert!(!t.is_current(7, g2));
+    }
+}

@@ -18,6 +18,8 @@
 //!   per core, unpinned).
 //! * [`batch`] — the §6.5 background `make` job (two parallel phases
 //!   around a serial one).
+//! * [`evpool`] — packet interning and lazy timer cancellation keeping
+//!   the runner's event entries small.
 //! * [`runner`] — the discrete-event loop tying the machine, NIC, TCP
 //!   stack, listen socket, servers, and clients together.
 //! * [`search`] — the offered-rate saturation search.
@@ -28,6 +30,7 @@
 pub mod audit;
 pub mod batch;
 pub mod client;
+pub mod evpool;
 pub mod files;
 pub mod runner;
 pub mod search;

@@ -17,6 +17,7 @@ use crate::audit::{
 };
 use crate::batch::BatchJob;
 use crate::client::{CConnId, Clients};
+use crate::evpool::{LazyTimers, PktSlab};
 use crate::server::{STask, ServerKind, TaskRole};
 use crate::workload::Workload;
 use affinity_accept::{
@@ -28,12 +29,14 @@ use metrics::{Histogram, PerfCounters};
 use nic::packet::RingId;
 use nic::{Nic, Packet, PacketKind, RxOutcome, Steering};
 use sim::core_set::CoreSet;
+use sim::events::Backend;
 use sim::fastmap::FastMap;
 use sim::fingerprint::Fingerprint;
 use sim::rng::SimRng;
 use sim::time::{ms, us, Cycles, CYCLES_PER_SEC};
 use sim::topology::{CoreId, Machine};
 use sim::EventQueue;
+use std::cell::RefCell;
 use tcp::{ops, ConnId, ConnState, Kernel};
 
 /// One-way client↔server propagation delay (LAN).
@@ -125,6 +128,10 @@ pub struct RunConfig {
     pub app_cycles: Cycles,
     /// Tracked `file` objects (bounded subset of the 30,000-file set).
     pub tracked_files: usize,
+    /// Event-queue backend. The timer wheel is the default; the binary
+    /// heap is kept for differential tests and perf baselines — both must
+    /// produce bit-identical run fingerprints.
+    pub evq: Backend,
 }
 
 impl RunConfig {
@@ -160,6 +167,7 @@ impl RunConfig {
             steal_ratio_local: 5,
             max_backlog: 128 * cores,
             tracked_files: 2_000,
+            evq: Backend::Wheel,
         }
     }
 }
@@ -202,6 +210,9 @@ pub struct RunResult {
     /// same `(config, seed)` must produce equal fingerprints (the
     /// determinism tripwire `simcheck` and the golden tests rely on).
     pub fingerprint: u64,
+    /// Events dispatched by the run loop over the whole run; with the
+    /// wall-clock time this gives the scheduler's events/sec.
+    pub events_executed: u64,
     /// End-of-run conservation audit (see [`crate::audit`]).
     pub audit: RunAudit,
     /// The kernel, for DProf and further inspection.
@@ -222,21 +233,46 @@ impl std::fmt::Debug for RunResult {
     }
 }
 
+/// One scheduled event. The queue holds hundreds of thousands of these on
+/// big runs, so the enum is kept at ≤ 16 bytes: 24-byte [`Packet`]
+/// payloads live in the runner's [`PktSlab`] behind a `u32` handle, and
+/// client connection ids are narrowed to `u32` (the slab and the client
+/// fleet both panic loudly long before either range is exhausted).
 #[derive(Debug)]
 enum Ev {
     Arrival,
-    Wire(Packet),
+    /// Client→server packet in flight (slab handle).
+    Wire(u32),
     Softirq(u16),
     TaskRun(u32),
     Think(CConnId),
-    Timeout(CConnId),
-    ToClient(CConnId, Packet),
+    /// Per-connection client timeout, stamped with the arming generation;
+    /// a stale stamp means the connection already finished and the event
+    /// dies in place (lazy cancellation).
+    Timeout(u32, u32),
+    /// Server→client packet: `(client conn id, slab handle)`.
+    ToClient(u32, u32),
     TxComplete(ConnId),
     Balance,
     SchedBalance,
     Hog(u16),
     MeasureStart,
 }
+
+const _: () = assert!(
+    std::mem::size_of::<Ev>() <= 16,
+    "Ev outgrew its 16-byte budget; intern large payloads instead"
+);
+
+// Pool of event queues, packet slabs and timer tables recycled across the
+// runs of a sweep: the wheel's slot vectors and the slab's backing store
+// are sized by the first run and reused warm by the rest.
+thread_local! {
+    static Q_POOL: RefCell<Vec<(EventQueue<Ev>, PktSlab, LazyTimers)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Queues kept per thread; a sweep worker only ever needs one.
+const Q_POOL_MAX: usize = 2;
 
 #[derive(Debug, Clone, Copy)]
 struct ConnApp {
@@ -247,6 +283,10 @@ struct ConnApp {
 pub struct Runner {
     cfg: RunConfig,
     q: EventQueue<Ev>,
+    /// In-flight packet payloads referenced by `Ev::Wire`/`Ev::ToClient`.
+    pkts: PktSlab,
+    /// Generation stamps for lazily cancelled `Ev::Timeout` events.
+    timers: LazyTimers,
     now: Cycles,
     cores: CoreSet,
     k: Kernel,
@@ -274,6 +314,11 @@ pub struct Runner {
     served: u64,
     affinity_served: u64,
     fingerprint: Fingerprint,
+    /// Events dispatched by the run loop (the wallclock bench's
+    /// events/sec numerator).
+    events_executed: u64,
+    /// `RUNNER_DEBUG` diagnostics enabled (checked once at build).
+    dbg_on: bool,
     /// Accepted outcomes observed (audit: must equal the listen socket's
     /// local + stolen accept counters).
     accepts_seen: u64,
@@ -379,10 +424,25 @@ impl Runner {
         let n_rings = nic.n_rings();
         let n_cores_for_hog = cfg.cores;
         let workers_spawned = vec![0; cfg.cores];
+        // Reuse a pooled (already reset) queue with the right backend so
+        // sweep runs after the first start with warm allocations.
+        let (q, pkts, timers) = Q_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            match pool.iter().position(|(q, _, _)| q.backend() == cfg.evq) {
+                Some(i) => pool.swap_remove(i),
+                None => (
+                    EventQueue::with_backend(cfg.evq),
+                    PktSlab::default(),
+                    LazyTimers::default(),
+                ),
+            }
+        });
 
         let mut r = Self {
             rng: SimRng::new(cfg.seed),
-            q: EventQueue::new(),
+            q,
+            pkts,
+            timers,
             now: 0,
             cores: CoreSet::new(cfg.cores),
             k,
@@ -404,6 +464,8 @@ impl Runner {
             served: 0,
             affinity_served: 0,
             fingerprint: Fingerprint::new(),
+            events_executed: 0,
+            dbg_on: std::env::var_os("RUNNER_DEBUG").is_some(),
             accepts_seen: 0,
             dispatched: 0,
             base_listen: Default::default(),
@@ -460,7 +522,15 @@ impl Runner {
     }
 
     fn send_to_server(&mut self, pkt: Packet, at: Cycles) {
-        self.q.push(at, Ev::Wire(pkt));
+        let handle = self.pkts.intern(pkt);
+        self.q.push(at, Ev::Wire(handle));
+    }
+
+    /// Narrows a client connection id for event storage. Ids are
+    /// sequential from 1, so a run would need 4 billion connections to
+    /// overflow; panic rather than alias if that ever happens.
+    fn ev_cid(cid: CConnId) -> u32 {
+        u32::try_from(cid).expect("client conn id overflows event storage")
     }
 
     fn tx_response(&mut self, core: CoreId, at: Cycles, conn: ConnId, bytes: u32) {
@@ -476,7 +546,11 @@ impl Runner {
             let pkt = Packet::new(tuple, PacketKind::Data, chunk);
             let wire_end = self.nic.tx(t, pkt.wire_bytes());
             t = wire_end;
-            self.q.push(wire_end + PROP_DELAY, Ev::ToClient(cid, pkt));
+            let handle = self.pkts.intern(pkt);
+            self.q.push(
+                wire_end + PROP_DELAY,
+                Ev::ToClient(Self::ev_cid(cid), handle),
+            );
             if left == 0 {
                 // The TX-completion interrupt fires on the connection's
                 // ring core once the last segment leaves.
@@ -493,7 +567,11 @@ impl Runner {
         };
         let pkt = Packet::new(tuple, kind, 0);
         let wire_end = self.nic.tx(at, pkt.wire_bytes());
-        self.q.push(wire_end + PROP_DELAY, Ev::ToClient(cid, pkt));
+        let handle = self.pkts.intern(pkt);
+        self.q.push(
+            wire_end + PROP_DELAY,
+            Ev::ToClient(Self::ev_cid(cid), handle),
+        );
     }
 
     fn schedule_task(&mut self, tid: u32, at: Cycles) {
@@ -586,9 +664,11 @@ impl Runner {
         // Read whatever requests arrived.
         if !self.k.conn(conn).rcv_queue.is_empty() {
             let start = self.cores.start_time(core, self.now);
-            if let Some(t0) = self.dbg_arrival.remove(&conn) {
-                self.dbg_serve_delay.0 += start.saturating_sub(t0);
-                self.dbg_serve_delay.1 += 1;
+            if self.dbg_on {
+                if let Some(t0) = self.dbg_arrival.remove(&conn) {
+                    self.dbg_serve_delay.0 += start.saturating_sub(t0);
+                    self.dbg_serve_delay.1 += 1;
+                }
             }
             let (d, tags) = ops::sys_read(&mut self.k, core, start, conn);
             let mut end = self.exec(core, start, d);
@@ -883,7 +963,9 @@ impl Runner {
                 if let Some(tid) = owner {
                     self.mark_ready(conn, tid, start + d);
                 }
-                self.dbg_arrival.entry(conn).or_insert(start);
+                if self.dbg_on {
+                    self.dbg_arrival.entry(conn).or_insert(start);
+                }
                 d
             }
             PacketKind::DataAck => {
@@ -942,12 +1024,20 @@ impl Runner {
     fn fold_event(&mut self, t: Cycles, ev: &Ev) {
         let (kind, payload) = match ev {
             Ev::Arrival => (0, 0),
-            Ev::Wire(pkt) => (1, pkt.tuple.hash() ^ (pkt.kind as u64) << 60),
+            Ev::Wire(handle) => {
+                let pkt = self.pkts.get(*handle);
+                (1, pkt.tuple.hash() ^ (pkt.kind as u64) << 60)
+            }
             Ev::Softirq(ring) => (2, u64::from(*ring)),
             Ev::TaskRun(tid) => (3, u64::from(*tid)),
             Ev::Think(cid) => (4, *cid),
-            Ev::Timeout(cid) => (5, *cid),
-            Ev::ToClient(cid, pkt) => (6, *cid ^ u64::from(pkt.payload) << 32),
+            // Stale (lazily cancelled) timeouts fold exactly like live
+            // ones: the heap-era fingerprint covered every popped event.
+            Ev::Timeout(cid, _gen) => (5, u64::from(*cid)),
+            Ev::ToClient(cid, handle) => {
+                let pkt = self.pkts.get(*handle);
+                (6, u64::from(*cid) ^ u64::from(pkt.payload) << 32)
+            }
             Ev::TxComplete(conn) => (7, conn.0),
             Ev::Balance => (8, 0),
             Ev::SchedBalance => (9, 0),
@@ -962,12 +1052,15 @@ impl Runner {
             Ev::Arrival => {
                 let (cid, syn) = self.clients.start_conn(self.now);
                 self.send_to_server(syn, self.now + PROP_DELAY);
-                self.q
-                    .push(self.now + self.clients.workload().timeout, Ev::Timeout(cid));
+                let gen = self.timers.arm(cid);
+                self.q.push(
+                    self.now + self.clients.workload().timeout,
+                    Ev::Timeout(Self::ev_cid(cid), gen),
+                );
                 let gap = self.rng.exp(self.arrival_interval_mean).max(1.0) as Cycles;
                 self.q.push(self.now + gap, Ev::Arrival);
             }
-            Ev::Wire(pkt) => match self.nic.rx(self.now, pkt) {
+            Ev::Wire(handle) => match self.nic.rx(self.now, self.pkts.take(handle)) {
                 RxOutcome::Delivered { ring, at } => {
                     if !self.softirq_pending[ring.0 as usize] {
                         self.softirq_pending[ring.0 as usize] = true;
@@ -984,9 +1077,16 @@ impl Runner {
                     self.send_to_server(p, self.now + PROP_DELAY);
                 }
             }
-            Ev::Timeout(cid) => {
-                if let Some(fin) = self.clients.on_timeout(self.now, cid) {
-                    self.send_to_server(fin, self.now + PROP_DELAY);
+            Ev::Timeout(cid, gen) => {
+                let cid = CConnId::from(cid);
+                // Lazy cancellation: a finished connection bumped the
+                // generation, so its timer dies here without a dispatch
+                // (`on_timeout` would have found no live connection).
+                if self.timers.is_current(cid, gen) {
+                    self.timers.cancel(cid);
+                    if let Some(fin) = self.clients.on_timeout(self.now, cid) {
+                        self.send_to_server(fin, self.now + PROP_DELAY);
+                    }
                 }
             }
             Ev::TxComplete(conn) => {
@@ -997,8 +1097,13 @@ impl Runner {
                     self.cores.run(core, start, d);
                 }
             }
-            Ev::ToClient(cid, pkt) => {
+            Ev::ToClient(cid, handle) => {
+                let cid = CConnId::from(cid);
+                let pkt = self.pkts.take(handle);
                 let r = self.clients.on_server_packet(self.now, cid, &pkt);
+                if r.done {
+                    self.timers.cancel(cid);
+                }
                 for p in r.send {
                     self.send_to_server(p, self.now + PROP_DELAY);
                 }
@@ -1121,9 +1226,10 @@ impl Runner {
             }
             self.now = t;
             self.fold_event(t, &ev);
+            self.events_executed += 1;
             self.handle(ev);
         }
-        if std::env::var_os("RUNNER_DEBUG").is_some() {
+        if self.dbg_on {
             eprintln!(
                 "dbg taskruns acceptor={} worker={} eventloop={} | sched wake={} ready={} yield={} nudge={} | dilated={}",
                 self.dbg_taskruns[0], self.dbg_taskruns[1], self.dbg_taskruns[2],
@@ -1216,6 +1322,21 @@ impl Runner {
             events_pending: self.q.len() as u64,
         };
 
+        // Recycle the queue, slab and timer table (reset, capacity kept)
+        // so the next run on this thread starts warm.
+        let mut q = std::mem::replace(&mut self.q, EventQueue::new());
+        let mut pkts = std::mem::take(&mut self.pkts);
+        let mut timers = std::mem::take(&mut self.timers);
+        q.reset();
+        pkts.reset();
+        timers.reset();
+        Q_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < Q_POOL_MAX {
+                pool.push((q, pkts, timers));
+            }
+        });
+
         RunResult {
             rps,
             rps_per_core: rps / self.cfg.cores as f64,
@@ -1238,6 +1359,7 @@ impl Runner {
             migrations: listen_stats.flow_migrations,
             wire_util: wire_util.min(1.0),
             fingerprint: self.fingerprint.value(),
+            events_executed: self.events_executed,
             audit,
             kernel: self.k,
         }
@@ -1261,6 +1383,24 @@ mod tests {
         cfg.measure = ms(120);
         cfg.tracked_files = 200;
         cfg
+    }
+
+    #[test]
+    fn ev_fits_its_budget() {
+        assert!(std::mem::size_of::<Ev>() <= 16, "Ev grew");
+    }
+
+    #[test]
+    fn wheel_and_heap_backends_agree() {
+        let cfg = quick_cfg(ListenKind::Affinity, 2, 1_000.0);
+        let mut heap_cfg = cfg.clone();
+        heap_cfg.evq = Backend::Heap;
+        let a = Runner::new(cfg).run();
+        let b = Runner::new(heap_cfg).run();
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.events_executed, b.events_executed);
+        assert_eq!(a.audit.events_pending, b.audit.events_pending);
     }
 
     #[test]

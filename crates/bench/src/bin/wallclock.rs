@@ -1,0 +1,406 @@
+//! `wallclock` — the simulator's wall-clock performance baseline.
+//!
+//! Unlike the figure binaries (which measure *simulated* metrics), this one
+//! measures the simulator itself: how fast the event loop retires events on
+//! the host machine. Two parts:
+//!
+//! 1. **fig6-style runs**: the Figure-6 48-core lighttpd configuration, one
+//!    run per `ListenKind` per event-queue backend. The timer-wheel and
+//!    binary-heap backends must produce bit-identical fingerprints (the
+//!    wheel is a pure scheduling-order-preserving replacement); any mismatch
+//!    aborts the benchmark.
+//! 2. **event-queue microbench**: a synthetic hold-pattern (pop one, push
+//!    one at a random future offset, fixed queue depth) isolating raw
+//!    queue throughput for each backend.
+//!
+//! Writes `results/BENCH_sim.json`. With `--baseline PATH` the run fails
+//! (exit 1) if its aggregate events/sec drops more than 30% below the
+//! `total_events_per_sec` recorded in the baseline file — the CI regression
+//! gate. Set `WALLCLOCK_NO_GATE=1` to bypass the gate (e.g. on a host known
+//! to be slower than the one that produced the committed baseline).
+//!
+//! Usage: `wallclock [--smoke] [--repeats N] [--baseline PATH] [--out PATH]`
+
+use app::{ListenKind, RunConfig, Runner, ServerKind, Workload};
+use metrics::json::Json;
+use sim::events::{Backend, EventQueue};
+use sim::rng::SimRng;
+use sim::time::ms;
+use sim::topology::Machine;
+use std::time::Instant;
+
+/// Seed-scheduler wall-clock per `ListenKind` on the fig6 configuration,
+/// measured on the reference host at the commit preceding the timer-wheel
+/// scheduler (binary-heap queue, no hot-path slimming, no LTO). Only
+/// meaningful for full (non-smoke) windows; used to report `speedup_vs_seed`.
+const SEED_WALL_S: [(ListenKind, f64); 3] = [
+    (ListenKind::Stock, 1.029),
+    (ListenKind::Fine, 6.077),
+    (ListenKind::Affinity, 4.585),
+];
+
+fn main() {
+    let opts = Opts::parse();
+    bench::header(
+        "wallclock",
+        "simulator events/sec baseline + queue microbench",
+    );
+    println!(
+        "mode: {}   repeats: {}   backends: heap, wheel",
+        if opts.smoke { "smoke" } else { "full" },
+        opts.repeats
+    );
+
+    let mut kinds = Vec::new();
+    let mut total_events: u64 = 0;
+    let mut total_wheel_wall = 0.0f64;
+    let mut total_heap_wall = 0.0f64;
+    for listen in [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity] {
+        let row = run_kind(listen, &opts);
+        total_events += row.events;
+        total_wheel_wall += row.wheel_wall;
+        total_heap_wall += row.heap_wall;
+        kinds.push(row);
+    }
+
+    let micro = microbench(&opts);
+
+    let total_eps = total_events as f64 / total_wheel_wall;
+    let seed_total: f64 = SEED_WALL_S.iter().map(|(_, w)| w).sum();
+    println!("\n== totals (wheel backend) ==");
+    println!(
+        "events={total_events}  wall={total_wheel_wall:.3}s  events/sec={total_eps:.0}  \
+         vs heap {:.2}x",
+        total_heap_wall / total_wheel_wall
+    );
+    if !opts.smoke {
+        println!(
+            "vs seed scheduler: {:.2}x events/sec (seed total wall {seed_total:.3}s)",
+            seed_total / total_wheel_wall
+        );
+    }
+
+    let report = report_json(
+        &opts,
+        &kinds,
+        &micro,
+        total_events,
+        total_wheel_wall,
+        total_heap_wall,
+    );
+    if let Some(parent) = std::path::Path::new(&opts.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&opts.out, report.render() + "\n").expect("write report");
+    println!("report: {}", opts.out);
+
+    if let Some(path) = &opts.baseline {
+        gate(path, total_eps);
+    }
+}
+
+// ----------------------------------------------------------------- options
+
+struct Opts {
+    smoke: bool,
+    repeats: usize,
+    baseline: Option<String>,
+    out: String,
+}
+
+impl Opts {
+    fn parse() -> Self {
+        let mut opts = Opts {
+            smoke: false,
+            repeats: 0,
+            baseline: None,
+            out: "results/BENCH_sim.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--repeats" => opts.repeats = value("--repeats").parse().expect("--repeats N"),
+                "--baseline" => opts.baseline = Some(value("--baseline")),
+                "--out" => opts.out = value("--out"),
+                other => panic!(
+                    "unknown argument {other} \
+                     (usage: wallclock [--smoke] [--repeats N] [--baseline PATH] [--out PATH])"
+                ),
+            }
+        }
+        if opts.repeats == 0 {
+            // Wall-clock on a shared host is noisy; best-of-N full runs give
+            // a stable figure. Smoke keeps CI fast with a single pass.
+            opts.repeats = if opts.smoke { 1 } else { 3 };
+        }
+        opts
+    }
+}
+
+// ------------------------------------------------------------- fig6 runs
+
+/// The Figure-6 configuration: Intel 48 cores, lighttpd, near-saturation
+/// offered load per `ListenKind`. Smoke mode shrinks the warmup/measure
+/// windows (~1/3 of the events) but keeps the shape.
+fn fig6_config(listen: ListenKind, smoke: bool) -> RunConfig {
+    let cores = 48;
+    let rate = bench::rate_guess(listen, ServerKind::lighttpd(), cores);
+    let mut cfg = RunConfig::new(
+        Machine::intel80(),
+        cores,
+        listen,
+        ServerKind::lighttpd(),
+        Workload::base(),
+        rate,
+    );
+    cfg.app_cycles = cfg.server.app_cycles();
+    if smoke {
+        cfg.warmup = ms(150);
+        cfg.measure = ms(100);
+    } else {
+        cfg.warmup = ms(450);
+        cfg.measure = ms(300);
+    }
+    cfg
+}
+
+struct KindRow {
+    listen: ListenKind,
+    events: u64,
+    fingerprint: u64,
+    wheel_wall: f64,
+    heap_wall: f64,
+}
+
+/// Best-of-`repeats` wall per backend; asserts the two backends agree on
+/// the fingerprint and event count.
+fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
+    let mut walls = [f64::INFINITY; 2]; // [heap, wheel]
+    let mut fps = [0u64; 2];
+    let mut events = [0u64; 2];
+    for (bi, backend) in [Backend::Heap, Backend::Wheel].into_iter().enumerate() {
+        for _ in 0..opts.repeats {
+            let mut cfg = fig6_config(listen, opts.smoke);
+            cfg.evq = backend;
+            let t0 = Instant::now();
+            let r = Runner::new(cfg).run();
+            let dt = t0.elapsed().as_secs_f64();
+            walls[bi] = walls[bi].min(dt);
+            fps[bi] = r.fingerprint;
+            events[bi] = r.events_executed;
+        }
+    }
+    assert_eq!(
+        fps[0],
+        fps[1],
+        "{}: heap and wheel backends diverged (fp {:#018x} != {:#018x})",
+        listen.label(),
+        fps[0],
+        fps[1]
+    );
+    assert_eq!(
+        events[0],
+        events[1],
+        "{}: event counts diverged",
+        listen.label()
+    );
+    let eps = events[1] as f64 / walls[1];
+    println!(
+        "{:8} events={:8}  wheel {:.3}s ({:.0} ev/s, {:.0} ns/ev)  heap {:.3}s  \
+         wheel/heap {:.2}x  fp={:#018x}",
+        listen.label(),
+        events[1],
+        walls[1],
+        eps,
+        1e9 / eps,
+        walls[0],
+        walls[0] / walls[1],
+        fps[1]
+    );
+    KindRow {
+        listen,
+        events: events[1],
+        fingerprint: fps[1],
+        wheel_wall: walls[1],
+        heap_wall: walls[0],
+    }
+}
+
+// ------------------------------------------------------------ microbench
+
+struct MicroResult {
+    ops: u64,
+    depth: usize,
+    heap_ops_per_sec: f64,
+    wheel_ops_per_sec: f64,
+}
+
+/// Hold-pattern throughput: fixed queue depth, each op pops the earliest
+/// event and pushes a replacement at a random offset up to ~64k cycles out
+/// (the horizon the simulator's timers actually use).
+fn microbench(opts: &Opts) -> MicroResult {
+    let ops: u64 = if opts.smoke { 400_000 } else { 2_000_000 };
+    let depth = 4096;
+    let mut rates = [0.0f64; 2]; // [heap, wheel]
+    for (bi, backend) in [Backend::Heap, Backend::Wheel].into_iter().enumerate() {
+        for _ in 0..opts.repeats {
+            let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
+            let mut rng = SimRng::new(0xBE7C);
+            for i in 0..depth {
+                q.push(rng.range(1, 65_536), i as u32);
+            }
+            let t0 = Instant::now();
+            let mut acc = 0u64;
+            for _ in 0..ops {
+                let (now, v) = q.pop().expect("hold pattern keeps the queue full");
+                acc = acc.wrapping_add(u64::from(v));
+                q.push(now + rng.range(1, 65_536), v);
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            std::hint::black_box(acc);
+            rates[bi] = rates[bi].max(ops as f64 / dt);
+        }
+    }
+    println!(
+        "\nmicrobench (depth {depth}, {ops} ops): heap {:.1}M ops/s  wheel {:.1}M ops/s  \
+         wheel/heap {:.2}x",
+        rates[0] / 1e6,
+        rates[1] / 1e6,
+        rates[1] / rates[0]
+    );
+    MicroResult {
+        ops,
+        depth,
+        heap_ops_per_sec: rates[0],
+        wheel_ops_per_sec: rates[1],
+    }
+}
+
+// ---------------------------------------------------------------- report
+
+fn report_json(
+    opts: &Opts,
+    kinds: &[KindRow],
+    micro: &MicroResult,
+    total_events: u64,
+    total_wheel_wall: f64,
+    total_heap_wall: f64,
+) -> Json {
+    let seed_total: f64 = SEED_WALL_S.iter().map(|(_, w)| w).sum();
+    let kind_rows: Vec<Json> = kinds
+        .iter()
+        .map(|row| {
+            let eps = row.events as f64 / row.wheel_wall;
+            let mut j = Json::obj()
+                .field("listen", row.listen.label())
+                .field("events", row.events)
+                .field("fingerprint", format!("{:#018x}", row.fingerprint))
+                .field("backends_agree", true)
+                .field("wheel_wall_s", row.wheel_wall)
+                .field("heap_wall_s", row.heap_wall)
+                .field("events_per_sec", eps)
+                .field("ns_per_event", 1e9 / eps)
+                .field("wheel_vs_heap", row.heap_wall / row.wheel_wall);
+            if !opts.smoke {
+                let seed = SEED_WALL_S
+                    .iter()
+                    .find(|(k, _)| *k == row.listen)
+                    .map(|(_, w)| *w)
+                    .expect("seed wall for kind");
+                j = j
+                    .field("seed_wall_s", seed)
+                    .field("speedup_vs_seed", seed / row.wheel_wall);
+            }
+            j
+        })
+        .collect();
+    let mut report = Json::obj()
+        .field("schema", "bench_sim/v1")
+        .field("mode", if opts.smoke { "smoke" } else { "full" })
+        .field("machine", "intel80")
+        .field("cores", 48u64)
+        .field("server", "lighttpd")
+        .field("repeats", opts.repeats as u64)
+        .field("kinds", Json::Arr(kind_rows))
+        .field("total_events", total_events)
+        .field("total_wheel_wall_s", total_wheel_wall)
+        .field("total_heap_wall_s", total_heap_wall)
+        .field(
+            "total_events_per_sec",
+            total_events as f64 / total_wheel_wall,
+        );
+    if !opts.smoke {
+        report = report.field("speedup_vs_seed_total", seed_total / total_wheel_wall);
+    }
+    report.field(
+        "microbench",
+        Json::obj()
+            .field("ops", micro.ops)
+            .field("queue_depth", micro.depth as u64)
+            .field("heap_ops_per_sec", micro.heap_ops_per_sec)
+            .field("wheel_ops_per_sec", micro.wheel_ops_per_sec)
+            .field(
+                "wheel_vs_heap",
+                micro.wheel_ops_per_sec / micro.heap_ops_per_sec,
+            ),
+    )
+}
+
+// ------------------------------------------------------------------ gate
+
+/// Fails the run if aggregate events/sec fell more than 30% below the
+/// baseline file's `total_events_per_sec`.
+fn gate(path: &str, total_eps: f64) {
+    if std::env::var_os("WALLCLOCK_NO_GATE").is_some() {
+        println!("gate: skipped (WALLCLOCK_NO_GATE set)");
+        return;
+    }
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+    let baseline_eps = scan_number(&text, "total_events_per_sec")
+        .unwrap_or_else(|| panic!("no total_events_per_sec in {path}"));
+    let floor = baseline_eps * 0.7;
+    let verdict = if total_eps >= floor { "ok" } else { "FAIL" };
+    println!(
+        "gate: {total_eps:.0} ev/s vs baseline {baseline_eps:.0} (floor {floor:.0}): {verdict}"
+    );
+    if total_eps < floor {
+        println!(
+            "wallclock: events/sec regressed more than 30% vs {path}; \
+             set WALLCLOCK_NO_GATE=1 to bypass on a slower host"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Minimal scanner: the first number following `"key":` in a flat JSON
+/// document (all this binary needs — no full parser in the workspace).
+fn scan_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scan_number;
+
+    #[test]
+    fn scans_numbers_after_keys() {
+        let doc = r#"{"a": 1, "total_events_per_sec": 123456.75, "b": [2]}"#;
+        assert_eq!(scan_number(doc, "total_events_per_sec"), Some(123456.75));
+        assert_eq!(scan_number(doc, "a"), Some(1.0));
+        assert_eq!(scan_number(doc, "missing"), None);
+    }
+}

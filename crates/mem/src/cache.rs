@@ -23,7 +23,6 @@ use crate::dprof::DProf;
 use crate::layout;
 use crate::types::DataType;
 use serde::{Deserialize, Serialize};
-use sim::fastmap::FastMap;
 use sim::topology::{CoreId, Machine};
 
 /// Identifies one tracked object instance.
@@ -101,7 +100,12 @@ pub struct CacheModel {
     machine: Machine,
     chip_of: Vec<u16>,
     chip_mask: Vec<u128>,
-    objs: FastMap<u64, Obj>,
+    /// Object ids are assigned sequentially and recycled through the slab
+    /// pools, so the table is a plain slab indexed by id (slot 0 unused)
+    /// rather than a hash map — every tracked access starts with this
+    /// lookup.
+    objs: Vec<Option<Obj>>,
+    live: usize,
     next_id: u64,
     /// The DProf profiler; enable before a run to collect Table 4 /
     /// Figure 4 data.
@@ -125,7 +129,8 @@ impl CacheModel {
             machine,
             chip_of,
             chip_mask,
-            objs: FastMap::default(),
+            objs: vec![None],
+            live: 0,
             next_id: 1,
             dprof: DProf::disabled(),
         }
@@ -140,7 +145,7 @@ impl CacheModel {
     /// Number of live tracked objects.
     #[must_use]
     pub fn live_objects(&self) -> usize {
-        self.objs.len()
+        self.live
     }
 
     /// Allocates a fresh object of `ty`, homed on `core`'s chip. All its
@@ -155,17 +160,16 @@ impl CacheModel {
                 writers: vec![0; nf].into_boxed_slice(),
             }
         });
-        self.objs.insert(
-            id,
-            Obj {
-                ty,
-                home_chip: self.chip_of[core.index()],
-                // Only the hot prefix is materialized; cold LocalOnly
-                // tails are never touched by the data path.
-                lines: vec![LineState::default(); layout::hot_lines(ty)].into_boxed_slice(),
-                prof,
-            },
-        );
+        debug_assert_eq!(self.objs.len() as u64, id);
+        self.objs.push(Some(Obj {
+            ty,
+            home_chip: self.chip_of[core.index()],
+            // Only the hot prefix is materialized; cold LocalOnly
+            // tails are never touched by the data path.
+            lines: vec![LineState::default(); layout::hot_lines(ty)].into_boxed_slice(),
+            prof,
+        }));
+        self.live += 1;
         ObjId(id)
     }
 
@@ -176,12 +180,13 @@ impl CacheModel {
     /// Panics if the object does not exist.
     #[must_use]
     pub fn type_of(&self, id: ObjId) -> DataType {
-        self.objs[&id.0].ty
+        self.objs[id.0 as usize].as_ref().expect("live object").ty
     }
 
     /// Frees an object: folds its sharing profile into DProf and drops it.
     pub fn free(&mut self, id: ObjId) {
-        if let Some(obj) = self.objs.remove(&id.0) {
+        if let Some(obj) = self.objs.get_mut(id.0 as usize).and_then(Option::take) {
+            self.live -= 1;
             self.fold(&obj);
         }
     }
@@ -191,7 +196,7 @@ impl CacheModel {
     /// memory freed by another core starts from that core's cached lines.
     pub fn recycle(&mut self, id: ObjId) {
         let enabled = self.dprof.is_enabled();
-        if let Some(obj) = self.objs.get_mut(&id.0) {
+        if let Some(obj) = self.objs.get_mut(id.0 as usize).and_then(Option::as_mut) {
             // Fold, then reset masks for the next incarnation.
             let ty = obj.ty;
             if let Some(prof) = obj.prof.as_mut() {
@@ -211,15 +216,13 @@ impl CacheModel {
 
     /// Folds all live objects' profiles into DProf (end of a measured run).
     pub fn fold_all_live(&mut self) {
-        let ids: Vec<u64> = self.objs.keys().copied().collect();
-        for id in ids {
-            if let Some(obj) = self.objs.get_mut(&id) {
-                let ty = obj.ty;
-                if let Some(prof) = obj.prof.as_mut() {
-                    Self::fold_profile(&mut self.dprof, ty, prof);
-                    prof.readers.iter_mut().for_each(|m| *m = 0);
-                    prof.writers.iter_mut().for_each(|m| *m = 0);
-                }
+        let dprof = &mut self.dprof;
+        for obj in self.objs.iter_mut().filter_map(Option::as_mut) {
+            let ty = obj.ty;
+            if let Some(prof) = obj.prof.as_mut() {
+                Self::fold_profile(dprof, ty, prof);
+                prof.readers.iter_mut().for_each(|m| *m = 0);
+                prof.writers.iter_mut().for_each(|m| *m = 0);
             }
         }
     }
@@ -336,7 +339,7 @@ impl CacheModel {
         let my_chip = self.chip_of[c];
         let lat = self.machine.lat;
         let dprof_on = self.dprof.is_enabled();
-        let obj = self.objs.get_mut(&id.0).expect("live object");
+        let obj = self.objs[id.0 as usize].as_mut().expect("live object");
         let ty = obj.ty;
         let f = &layout::fields(ty)[field_idx];
         let mut acc = Access::default();
@@ -384,7 +387,7 @@ impl CacheModel {
         let my_chip = self.chip_of[c];
         let lat = self.machine.lat;
         let dprof_on = self.dprof.is_enabled();
-        let obj = self.objs.get_mut(&id.0).expect("live object");
+        let obj = self.objs[id.0 as usize].as_mut().expect("live object");
         let ty = obj.ty;
         let fields = layout::fields(ty);
         let mut acc = Access::default();
@@ -429,13 +432,22 @@ impl CacheModel {
     /// Whether the given line of an object is currently dirty in some cache.
     #[must_use]
     pub fn line_dirty(&self, id: ObjId, line: usize) -> bool {
-        self.objs[&id.0].lines[line].dirty
+        self.objs[id.0 as usize]
+            .as_ref()
+            .expect("live object")
+            .lines[line]
+            .dirty
     }
 
     /// Sharer count of a line (for invariants and tests).
     #[must_use]
     pub fn line_sharers(&self, id: ObjId, line: usize) -> u32 {
-        self.objs[&id.0].lines[line].sharers.count_ones()
+        self.objs[id.0 as usize]
+            .as_ref()
+            .expect("live object")
+            .lines[line]
+            .sharers
+            .count_ones()
     }
 }
 

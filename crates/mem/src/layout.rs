@@ -409,9 +409,11 @@ fn hash_bucket() -> Vec<Field> {
 }
 
 fn build_all() -> Vec<Vec<Field>> {
-    DataType::ALL
-        .iter()
-        .map(|t| match t {
+    // Indexed by `DataType::index()` so the hot-path lookups below are a
+    // direct array access, not a scan of `DataType::ALL`.
+    let mut all = vec![Vec::new(); DataType::ALL.len()];
+    for t in DataType::ALL {
+        all[t.index()] = match t {
             DataType::TcpSock => tcp_sock(),
             DataType::SkBuff => sk_buff(),
             DataType::TcpRequestSock => tcp_request_sock(),
@@ -426,61 +428,50 @@ fn build_all() -> Vec<Vec<Field>> {
             DataType::ListenSock => listen_sock(),
             DataType::BusyBitmap => busy_bitmap(),
             DataType::HashBucket => hash_bucket(),
-        })
-        .collect()
+        };
+    }
+    all
 }
 
 static LAYOUTS: OnceLock<Vec<Vec<Field>>> = OnceLock::new();
 
-/// All field tags, for the per-tag index tables.
-const TAGS: [FieldTag; 7] = [
-    FieldTag::RxOnly,
-    FieldTag::AppOnly,
-    FieldTag::BothRwByRx,
-    FieldTag::BothRwByApp,
-    FieldTag::BothRo,
-    FieldTag::GlobalNode,
-    FieldTag::LocalOnly,
-];
+/// Number of field tags (`FieldTag` discriminants).
+const N_TAGS: usize = 7;
 
+/// Dense index of a tag: its declaration discriminant.
+#[inline]
 fn tag_pos(tag: FieldTag) -> usize {
-    TAGS.iter().position(|t| *t == tag).expect("known tag")
+    tag as usize
 }
 
-static TAG_INDEX: OnceLock<Vec<[Vec<u16>; 7]>> = OnceLock::new();
+static TAG_INDEX: OnceLock<Vec<[Vec<u16>; N_TAGS]>> = OnceLock::new();
 
-fn build_tag_index() -> Vec<[Vec<u16>; 7]> {
-    DataType::ALL
-        .iter()
-        .map(|ty| {
-            let mut by_tag: [Vec<u16>; 7] = Default::default();
-            for (i, f) in fields(*ty).iter().enumerate() {
-                by_tag[tag_pos(f.tag)].push(i as u16);
-            }
-            by_tag
-        })
-        .collect()
-}
-
-fn type_pos(ty: DataType) -> usize {
-    DataType::ALL
-        .iter()
-        .position(|t| *t == ty)
-        .expect("known type")
+fn build_tag_index() -> Vec<[Vec<u16>; N_TAGS]> {
+    // Indexed by `DataType::index()` / `tag as usize`.
+    let mut idx: Vec<[Vec<u16>; N_TAGS]> = (0..DataType::ALL.len())
+        .map(|_| Default::default())
+        .collect();
+    for ty in DataType::ALL {
+        let by_tag = &mut idx[ty.index()];
+        for (i, f) in fields(ty).iter().enumerate() {
+            by_tag[tag_pos(f.tag)].push(i as u16);
+        }
+    }
+    idx
 }
 
 /// The field layout of a data type.
 #[must_use]
 pub fn fields(ty: DataType) -> &'static [Field] {
     let all = LAYOUTS.get_or_init(build_all);
-    &all[type_pos(ty)]
+    &all[ty.index()]
 }
 
 /// Precomputed indices of `ty`'s fields carrying `tag` (hot path).
 #[must_use]
 pub fn tag_indices(ty: DataType, tag: FieldTag) -> &'static [u16] {
     let idx = TAG_INDEX.get_or_init(build_tag_index);
-    &idx[type_pos(ty)][tag_pos(tag)]
+    &idx[ty.index()][tag_pos(tag)]
 }
 
 /// Finds a field's index by name (for cost tables and tests).

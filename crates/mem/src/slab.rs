@@ -35,10 +35,7 @@ pub struct SlabAllocator {
 }
 
 fn type_index(ty: DataType) -> usize {
-    DataType::ALL
-        .iter()
-        .position(|t| *t == ty)
-        .expect("known type")
+    ty.index()
 }
 
 impl SlabAllocator {

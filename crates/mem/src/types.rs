@@ -80,6 +80,15 @@ impl DataType {
         DataType::File,
     ];
 
+    /// Dense index of the type (its declaration discriminant), used by the
+    /// hot-path tables in `layout` and the slab free lists in place of a
+    /// linear scan of [`DataType::ALL`].
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Object size in bytes (Table 4's "Size of Object" column).
     #[must_use]
     pub fn size(self) -> usize {

@@ -9,7 +9,6 @@
 //! perturbation via [`LockStat::accounting_overhead_cycles`].
 
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Lock classes the simulated kernel distinguishes, mirroring the lock
 /// classes relevant to the paper's connection-processing path.
@@ -35,6 +34,21 @@ pub enum LockClass {
 }
 
 impl LockClass {
+    /// Number of lock classes.
+    pub const COUNT: usize = 8;
+
+    /// Every class, in declaration (and reporting) order.
+    pub const ALL: [LockClass; LockClass::COUNT] = [
+        LockClass::ListenSocket,
+        LockClass::AcceptQueue,
+        LockClass::RequestBucket,
+        LockClass::EstablishedBucket,
+        LockClass::Connection,
+        LockClass::SlabPool,
+        LockClass::RunQueue,
+        LockClass::NicAdmin,
+    ];
+
     /// Human-readable label.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -77,7 +91,10 @@ pub struct LockStat {
     /// Extra cycles charged to each lock acquire+release pair when the
     /// profiler is enabled.
     pub accounting_overhead_cycles: u64,
-    stats: BTreeMap<LockClass, LockClassStats>,
+    /// Indexed by `LockClass` discriminant: `record` runs on every lock
+    /// operation in the simulated kernel, so the table is a flat array
+    /// rather than a map (no hashing, no tree walk).
+    stats: [LockClassStats; LockClass::COUNT],
 }
 
 /// Default per-operation accounting cost. `lock_stat` takes timestamps and
@@ -98,7 +115,7 @@ impl LockStat {
         Self {
             enabled: true,
             accounting_overhead_cycles: DEFAULT_LOCKSTAT_OVERHEAD_CYCLES,
-            stats: BTreeMap::new(),
+            stats: [LockClassStats::default(); LockClass::COUNT],
         }
     }
 
@@ -108,7 +125,7 @@ impl LockStat {
         Self {
             enabled: false,
             accounting_overhead_cycles: 0,
-            stats: BTreeMap::new(),
+            stats: [LockClassStats::default(); LockClass::COUNT],
         }
     }
 
@@ -135,7 +152,7 @@ impl LockStat {
         if !self.enabled {
             return;
         }
-        let s = self.stats.entry(class).or_default();
+        let s = &mut self.stats[class as usize];
         s.acquisitions += 1;
         if wait_spin > 0 || wait_mutex > 0 {
             s.contended += 1;
@@ -148,18 +165,21 @@ impl LockStat {
     /// Statistics for one class (zeroes if never recorded).
     #[must_use]
     pub fn class(&self, class: LockClass) -> LockClassStats {
-        self.stats.get(&class).copied().unwrap_or_default()
+        self.stats[class as usize]
     }
 
-    /// Iterates over all classes with recorded activity.
+    /// Iterates over all classes with recorded activity, in declaration
+    /// order.
     pub fn iter(&self) -> impl Iterator<Item = (LockClass, &LockClassStats)> {
-        self.stats.iter().map(|(k, v)| (*k, v))
+        LockClass::ALL
+            .iter()
+            .map(|c| (*c, &self.stats[*c as usize]))
+            .filter(|(_, s)| s.acquisitions > 0)
     }
 
     /// Merges another profiler's records into this one.
     pub fn merge(&mut self, other: &LockStat) {
-        for (class, s) in other.stats.iter() {
-            let dst = self.stats.entry(*class).or_default();
+        for (dst, s) in self.stats.iter_mut().zip(other.stats.iter()) {
             dst.acquisitions += s.acquisitions;
             dst.contended += s.contended;
             dst.wait_spin_cycles += s.wait_spin_cycles;
@@ -170,7 +190,7 @@ impl LockStat {
 
     /// Clears all recorded statistics.
     pub fn clear(&mut self) {
-        self.stats.clear();
+        self.stats = [LockClassStats::default(); LockClass::COUNT];
     }
 }
 
@@ -214,19 +234,20 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        let classes = [
-            LockClass::ListenSocket,
-            LockClass::AcceptQueue,
-            LockClass::RequestBucket,
-            LockClass::EstablishedBucket,
-            LockClass::Connection,
-            LockClass::SlabPool,
-            LockClass::RunQueue,
-            LockClass::NicAdmin,
-        ];
-        let mut labels: Vec<_> = classes.iter().map(|c| c.label()).collect();
+        let mut labels: Vec<_> = LockClass::ALL.iter().map(|c| c.label()).collect();
         labels.sort_unstable();
         labels.dedup();
-        assert_eq!(labels.len(), classes.len());
+        assert_eq!(labels.len(), LockClass::ALL.len());
+    }
+
+    #[test]
+    fn iter_skips_idle_classes_in_declaration_order() {
+        let mut ls = LockStat::enabled();
+        ls.record(LockClass::RunQueue, 0, 0, 1);
+        ls.record(LockClass::ListenSocket, 0, 0, 1);
+        let classes: Vec<LockClass> = ls.iter().map(|(c, _)| c).collect();
+        assert_eq!(classes, vec![LockClass::ListenSocket, LockClass::RunQueue]);
+        ls.clear();
+        assert_eq!(ls.iter().count(), 0);
     }
 }

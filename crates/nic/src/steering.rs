@@ -162,7 +162,7 @@ impl FlowGroupTable {
 #[derive(Debug)]
 pub struct PerFlowTable {
     capacity: usize,
-    map: std::collections::HashMap<u64, RingId>,
+    map: sim::fastmap::FastMap<u64, RingId>,
     fallback: RssTable,
     stall_until: Cycles,
     /// Successful insertions.
@@ -178,7 +178,7 @@ impl PerFlowTable {
     pub fn new(n_rings: usize, capacity: usize) -> Self {
         Self {
             capacity,
-            map: std::collections::HashMap::with_capacity(capacity),
+            map: sim::fastmap::FastMap::with_capacity_and_hasher(capacity, Default::default()),
             fallback: RssTable::new(n_rings),
             stall_until: 0,
             inserts: 0,

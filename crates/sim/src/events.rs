@@ -2,11 +2,32 @@
 //!
 //! Events are ordered by `(time, sequence)`, where the sequence number is
 //! assigned at push time; ties in simulated time therefore resolve in
-//! insertion order, keeping runs reproducible regardless of heap internals.
+//! insertion order, keeping runs reproducible regardless of scheduler
+//! internals.
+//!
+//! Two backends implement that contract:
+//!
+//! * [`Backend::Wheel`] (the default) — the hierarchical timer wheel of
+//!   [`crate::wheel`], O(1) amortized push/pop.
+//! * [`Backend::Heap`] — the original `BinaryHeap` scheduler, kept as the
+//!   reference implementation for differential tests and perf baselines.
+//!
+//! Both must pop byte-identical `(time, seq, event)` streams for any push
+//! sequence; the proptests at the bottom of this file hold them to it.
 
 use crate::time::Cycles;
+use crate::wheel::TimerWheel;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Which scheduler implementation an [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Hierarchical timer wheel (default).
+    Wheel,
+    /// Binary-heap reference implementation.
+    Heap,
+}
 
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct Key(Cycles, u64);
@@ -34,7 +55,51 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A min-heap of `(time, event)` pairs with stable FIFO tie-breaking.
+/// The binary-heap scheduler: the straightforward implementation of the
+/// ordering contract, against which the wheel is differentially tested.
+#[derive(Debug)]
+struct HeapQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    last_popped: Cycles,
+}
+
+impl<E> HeapQueue<E> {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            last_popped: 0,
+        }
+    }
+
+    fn push(&mut self, at: Cycles, event: E) {
+        let key = Key(at, self.seq);
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { key, event }));
+    }
+
+    fn pop(&mut self) -> Option<(Cycles, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.key.0 >= self.last_popped, "event time went backwards");
+        self.last_popped = entry.key.0;
+        Some((entry.key.0, entry.event))
+    }
+
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.last_popped = 0;
+    }
+}
+
+#[derive(Debug)]
+enum Inner<E> {
+    Wheel(TimerWheel<E>),
+    Heap(HeapQueue<E>),
+}
+
+/// A min-queue of `(time, event)` pairs with stable FIFO tie-breaking.
 ///
 /// # Examples
 ///
@@ -50,9 +115,7 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    seq: u64,
-    last_popped: Cycles,
+    inner: Inner<E>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -62,47 +125,80 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (wheel) backend.
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            heap: BinaryHeap::new(),
-            seq: 0,
-            last_popped: 0,
+        Self::with_backend(Backend::Wheel)
+    }
+
+    /// Creates an empty queue on an explicit backend.
+    #[must_use]
+    pub fn with_backend(backend: Backend) -> Self {
+        let inner = match backend {
+            Backend::Wheel => Inner::Wheel(TimerWheel::new()),
+            Backend::Heap => Inner::Heap(HeapQueue::new()),
+        };
+        Self { inner }
+    }
+
+    /// Which backend this queue runs on.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        match &self.inner {
+            Inner::Wheel(_) => Backend::Wheel,
+            Inner::Heap(_) => Backend::Heap,
         }
     }
 
-    /// Schedules `event` at simulated time `at`.
+    /// Schedules `event` at simulated time `at`. `at` must not precede
+    /// the time of the last popped event.
     pub fn push(&mut self, at: Cycles, event: E) {
-        let key = Key(at, self.seq);
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { key, event }));
+        match &mut self.inner {
+            Inner::Wheel(w) => w.push(at, event),
+            Inner::Heap(h) => h.push(at, event),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
-        let Reverse(entry) = self.heap.pop()?;
-        debug_assert!(entry.key.0 >= self.last_popped, "event time went backwards");
-        self.last_popped = entry.key.0;
-        Some((entry.key.0, entry.event))
+        match &mut self.inner {
+            Inner::Wheel(w) => w.pop(),
+            Inner::Heap(h) => h.pop(),
+        }
     }
 
-    /// Time of the earliest pending event, if any.
-    #[must_use]
-    pub fn peek_time(&self) -> Option<Cycles> {
-        self.heap.peek().map(|Reverse(e)| e.key.0)
+    /// Time of the earliest pending event, if any. Takes `&mut self`
+    /// because the wheel backend may cascade buckets to locate it (the
+    /// result is cached, so a following `pop` stays O(1)).
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.peek_time(),
+            Inner::Heap(h) => h.heap.peek().map(|Reverse(e)| e.key.0),
+        }
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.inner {
+            Inner::Wheel(w) => w.len(),
+            Inner::Heap(h) => h.heap.len(),
+        }
     }
 
     /// Whether no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Empties the queue and rewinds time to zero, retaining allocations
+    /// so a pooled queue starts the next run warm.
+    pub fn reset(&mut self) {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.reset(),
+            Inner::Heap(h) => h.reset(),
+        }
     }
 }
 
@@ -110,53 +206,86 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<i32>; 2] {
+        [
+            EventQueue::with_backend(Backend::Wheel),
+            EventQueue::with_backend(Backend::Heap),
+        ]
+    }
+
     #[test]
     fn orders_by_time() {
-        let mut q = EventQueue::new();
-        q.push(30, 3);
-        q.push(10, 1);
-        q.push(20, 2);
-        assert_eq!(q.pop(), Some((10, 1)));
-        assert_eq!(q.pop(), Some((20, 2)));
-        assert_eq!(q.pop(), Some((30, 3)));
+        for mut q in both() {
+            q.push(30, 3);
+            q.push(10, 1);
+            q.push(20, 2);
+            assert_eq!(q.pop(), Some((10, 1)));
+            assert_eq!(q.pop(), Some((20, 2)));
+            assert_eq!(q.pop(), Some((30, 3)));
+        }
     }
 
     #[test]
     fn fifo_on_ties() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.push(5, i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((5, i)));
+        for mut q in both() {
+            for i in 0..100 {
+                q.push(5, i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((5, i)));
+            }
         }
     }
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.push(7, ());
-        assert_eq!(q.peek_time(), Some(7));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
+        for mut q in both() {
+            q.push(7, 0);
+            assert_eq!(q.peek_time(), Some(7));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+            q.pop();
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        }
     }
 
     #[test]
     fn interleaved_push_pop_stays_ordered() {
-        let mut q = EventQueue::new();
-        q.push(10, 'a');
-        q.push(50, 'e');
-        assert_eq!(q.pop(), Some((10, 'a')));
-        q.push(20, 'b');
-        q.push(30, 'c');
-        assert_eq!(q.pop(), Some((20, 'b')));
-        q.push(40, 'd');
-        assert_eq!(q.pop(), Some((30, 'c')));
-        assert_eq!(q.pop(), Some((40, 'd')));
-        assert_eq!(q.pop(), Some((50, 'e')));
+        for mut q in both() {
+            q.push(10, 1);
+            q.push(50, 5);
+            assert_eq!(q.pop(), Some((10, 1)));
+            q.push(20, 2);
+            q.push(30, 3);
+            assert_eq!(q.pop(), Some((20, 2)));
+            q.push(40, 4);
+            assert_eq!(q.pop(), Some((30, 3)));
+            assert_eq!(q.pop(), Some((40, 4)));
+            assert_eq!(q.pop(), Some((50, 5)));
+        }
+    }
+
+    #[test]
+    fn reset_reuses_queue() {
+        for mut q in both() {
+            q.push(1 << 40, 1);
+            q.push(9, 2);
+            assert_eq!(q.pop(), Some((9, 2)));
+            q.reset();
+            assert!(q.is_empty());
+            q.push(3, 7);
+            assert_eq!(q.pop(), Some((3, 7)));
+        }
+    }
+
+    #[test]
+    fn default_backend_is_wheel() {
+        assert_eq!(EventQueue::<()>::new().backend(), Backend::Wheel);
+        assert_eq!(
+            EventQueue::<()>::with_backend(Backend::Heap).backend(),
+            Backend::Heap
+        );
     }
 }
 
@@ -168,29 +297,88 @@ mod proptests {
     proptest! {
         #[test]
         fn pops_are_globally_time_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
-            let mut q = EventQueue::new();
-            for (i, t) in times.iter().enumerate() {
-                q.push(*t, i);
-            }
-            let mut last = 0;
-            while let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last);
-                last = t;
+            for mut q in [EventQueue::with_backend(Backend::Wheel), EventQueue::with_backend(Backend::Heap)] {
+                for (i, t) in times.iter().enumerate() {
+                    q.push(*t, i);
+                }
+                let mut last = 0;
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
             }
         }
 
         #[test]
         fn all_events_come_back(times in proptest::collection::vec(0u64..1_000, 0..200)) {
-            let mut q = EventQueue::new();
-            for (i, t) in times.iter().enumerate() {
-                q.push(*t, i);
+            for mut q in [EventQueue::with_backend(Backend::Wheel), EventQueue::with_backend(Backend::Heap)] {
+                for (i, t) in times.iter().enumerate() {
+                    q.push(*t, i);
+                }
+                let mut seen = vec![false; times.len()];
+                while let Some((_, i)) = q.pop() {
+                    prop_assert!(!seen[i]);
+                    seen[i] = true;
+                }
+                prop_assert!(seen.iter().all(|s| *s));
             }
-            let mut seen = vec![false; times.len()];
-            while let Some((_, i)) = q.pop() {
-                prop_assert!(!seen[i]);
-                seen[i] = true;
+        }
+
+        /// The differential test the wheel rewrite hangs on: for any
+        /// interleaving of pushes (near-future, same-time ties, and
+        /// far-future cascades across several wheel levels) and pops, the
+        /// wheel and the heap produce identical `(time, event)` streams —
+        /// which, with distinct event ids, pins the `(time, seq)` order.
+        #[test]
+        fn wheel_matches_heap_reference(
+            ops in proptest::collection::vec((0u8..6, 0u64..1_000), 1..300),
+        ) {
+            let mut wheel = EventQueue::with_backend(Backend::Wheel);
+            let mut heap = EventQueue::with_backend(Backend::Heap);
+            let mut now = 0u64;
+            let mut next_id = 0usize;
+            for (op, x) in ops {
+                match op {
+                    // Pop from both; streams must match step for step.
+                    0 => {
+                        let a = wheel.pop();
+                        let b = heap.pop();
+                        prop_assert_eq!(a, b);
+                        if let Some((t, _)) = a {
+                            now = t;
+                        }
+                    }
+                    // Same-time tie at the current clock.
+                    1 => {
+                        wheel.push(now, next_id);
+                        heap.push(now, next_id);
+                        next_id += 1;
+                    }
+                    // Far future: forces multi-level parking + cascades.
+                    2 => {
+                        let t = now + 1 + x * 77_777_777;
+                        wheel.push(t, next_id);
+                        heap.push(t, next_id);
+                        next_id += 1;
+                    }
+                    // Near future (level 0/1).
+                    _ => {
+                        let t = now + x;
+                        wheel.push(t, next_id);
+                        heap.push(t, next_id);
+                        next_id += 1;
+                    }
+                }
+                prop_assert_eq!(wheel.len(), heap.len());
             }
-            prop_assert!(seen.iter().all(|s| *s));
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
         }
     }
 }

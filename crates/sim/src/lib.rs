@@ -9,7 +9,9 @@
 //!   both of the paper's machines).
 //! * [`topology`] — chip/core layout and the memory-hierarchy latencies of
 //!   Table 1 ([`topology::Machine::amd48`], [`topology::Machine::intel80`]).
-//! * [`events`] — a deterministic time-ordered event queue.
+//! * [`events`] — a deterministic time-ordered event queue, selectable
+//!   between a hierarchical timer wheel ([`wheel`], the default) and a
+//!   binary-heap reference implementation.
 //! * [`fingerprint`] — order-sensitive FNV-1a hashes folded over the
 //!   executed event stream; equal configs and seeds must yield equal
 //!   fingerprints, making any lost determinism loud.
@@ -37,9 +39,10 @@ pub mod rng;
 pub mod sched;
 pub mod time;
 pub mod topology;
+pub mod wheel;
 
 pub use core_set::{CoreSet, TaskId};
-pub use events::EventQueue;
+pub use events::{Backend, EventQueue};
 pub use fastmap::FastMap;
 pub use fingerprint::Fingerprint;
 pub use lock::TimelineLock;

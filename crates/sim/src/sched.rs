@@ -7,6 +7,12 @@
 //! behaviour: on each periodic tick it compares run-queue lengths and moves
 //! at most one migratable task from the busiest to the idlest core when the
 //! imbalance exceeds a threshold.
+//!
+//! A migration must also *strictly shrink* the busiest/idlest gap. Moving
+//! one task changes that pair's gap from `g` to `|g - 2|`, so any move
+//! with `g < 2` is refused outright: at threshold 1 a two-core `[1, 0]`
+//! split would otherwise bounce one task between the cores forever, a
+//! ping-pong Linux's `imbalance_pct` slack exists to prevent.
 
 use crate::core_set::{CoreSet, TaskId};
 use crate::time::{ms, Cycles};
@@ -105,7 +111,11 @@ impl LoadBalancer {
                 idlest = id;
             }
         }
-        if max_load.saturating_sub(min_load) < self.threshold {
+        let gap = max_load.saturating_sub(min_load);
+        // Below the threshold there is no imbalance to fix; below a gap of
+        // 2 the move cannot strictly shrink the busiest/idlest gap (it
+        // would just relabel the cores and ping-pong).
+        if gap < self.threshold || gap < 2 {
             return None;
         }
         // Move the first migratable task from the busiest queue.
@@ -207,6 +217,32 @@ mod tests {
         let mut lb = LoadBalancer::new();
         assert!(lb.tick(0, &mut cs, 1, |_| true).is_none());
     }
+
+    #[test]
+    fn threshold_one_gap_one_never_ping_pongs() {
+        // [1, 0] at threshold 1: the gap meets the threshold, but moving
+        // the task would only relabel busiest and idlest. Refused.
+        let mut cs = setup(&[1, 0]);
+        let mut lb = LoadBalancer::with_params(ms(4), 1);
+        for i in 0..10 {
+            assert!(
+                lb.tick(ms(4) * i, &mut cs, 2, |_| true).is_none(),
+                "ping-pong at tick {i}"
+            );
+        }
+        assert!(lb.migrations().is_empty());
+    }
+
+    #[test]
+    fn threshold_one_gap_two_migrates_once_and_stops() {
+        let mut cs = setup(&[3, 1]);
+        let mut lb = LoadBalancer::with_params(ms(4), 1);
+        assert!(lb.tick(0, &mut cs, 2, |_| true).is_some());
+        assert_eq!(cs.load(CoreId(0)), 2);
+        assert_eq!(cs.load(CoreId(1)), 2);
+        assert!(lb.tick(ms(4), &mut cs, 2, |_| true).is_none());
+        assert_eq!(lb.migrations().len(), 1);
+    }
 }
 
 #[cfg(test)]
@@ -232,9 +268,9 @@ mod proptests {
     }
 
     /// Ticks until no migration happens; returns the migration count.
-    /// Callers keep `threshold >= 2`: at threshold 1 an odd two-core gap
-    /// ping-pongs one task forever (diff 1 >= 1 before and after every
-    /// move), so "migrations to converge" is not defined there.
+    /// Well-defined for any `threshold >= 1`: the strict-shrink rule
+    /// refuses gap-1 moves, so every migration closes the busiest/idlest
+    /// gap and the balancer always converges.
     fn converge(loads: &[usize], threshold: usize) -> usize {
         let total: usize = loads.iter().sum();
         let mut cs = setup(loads);
@@ -278,8 +314,10 @@ mod proptests {
             let unique_min = loads.iter().filter(|&&l| l == min_before).count() == 1;
             let mut lb = LoadBalancer::with_params(ms(4), threshold);
             if let Some(m) = lb.tick(0, &mut cs, active, |_| true) {
-                // A migration only ever fires at or above the threshold...
+                // A migration only ever fires at or above the threshold,
+                // and never on a gap the move cannot strictly shrink...
                 prop_assert!(before >= threshold);
+                prop_assert!(before >= 2);
                 // ...moves one task from a busiest core to an idlest core,
                 // strictly closing that pair's gap...
                 prop_assert_eq!(loads[m.from.index()], max_before);
@@ -294,16 +332,14 @@ mod proptests {
                     prop_assert!(after < before);
                 }
             } else {
-                prop_assert!(before < threshold);
+                prop_assert!(before < threshold || before < 2);
             }
         }
 
         #[test]
         fn repeated_ticks_converge_below_threshold(
             loads in proptest::collection::vec(0usize..12, 2..8),
-            // Threshold 1 legitimately oscillates on an odd gap (see
-            // `converge`); convergence is only guaranteed from 2 up.
-            threshold in 2usize..6,
+            threshold in 1usize..6,
         ) {
             let total: usize = loads.iter().sum();
             let mut cs = setup(&loads);
@@ -315,7 +351,9 @@ mod proptests {
                 ticks += 1;
                 prop_assert!(ticks <= total, "balancer failed to converge");
             }
-            prop_assert!(imbalance(&cs, loads.len()) < threshold);
+            // Terminal state: every remaining gap is below the effective
+            // trigger, `max(threshold, 2)`.
+            prop_assert!(imbalance(&cs, loads.len()) < threshold.max(2));
         }
 
         #[test]
@@ -323,7 +361,7 @@ mod proptests {
             low in 0usize..20,
             gap in 0usize..20,
             widen in 1usize..10,
-            threshold in 2usize..6,
+            threshold in 1usize..6,
         ) {
             // Two cores with the same total load: the more skewed split
             // needs at least as many migrations to converge.

@@ -223,8 +223,8 @@ pub fn ack_establish(
 /// Per-packet established-table lookup cost (bucket head + socket chain
 /// node), shared by the data-path softirq handlers.
 fn est_lookup_access(k: &mut Kernel, core: CoreId, conn: ConnId) -> Access {
-    let tuple = k.conn(conn).tuple;
-    let sock = k.conn(conn).sock;
+    let c = k.conn(conn);
+    let (tuple, sock) = (c.tuple, c.sock);
     let head = k.est.bucket_head(&tuple);
     let mut acc = k
         .cache
@@ -320,19 +320,19 @@ pub fn data_ack_rx(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> Cy
             .access_tagged(core, sock, FieldTag::BothRwByApp, false),
     );
     tracked.add(p.cache.access_tagged(core, sock, FieldTag::BothRo, false));
-    let chunks = std::mem::take(&mut conn_ref.tx_inflight.chunks);
-    let skbs = std::mem::take(&mut conn_ref.tx_inflight.skbs);
     let hold = CONN_LOCK_HOLD_BASE + tracked.latency;
     let (_, spin) = conn_ref.lock.run_locked(at, hold, p.lockstat);
     let lock_overhead = p.lockstat.op_overhead();
-    for chunk in chunks {
+    // Drain in place: the inflight vectors keep their capacity for the
+    // connection's next response.
+    for chunk in conn_ref.tx_inflight.chunks.drain(..) {
         tracked.add(
             p.cache
                 .access_tagged(core, chunk, FieldTag::BothRwByApp, false),
         );
         tracked.add(p.slab.free(core, chunk, p.cache));
     }
-    for skb in skbs {
+    for skb in conn_ref.tx_inflight.skbs.drain(..) {
         tracked.add(p.slab.free(core, skb, p.cache));
     }
     let cycles = charge_parts(p.machine, p.perf, costs::SOFTIRQ_DATA_ACK, tracked);
@@ -357,8 +357,7 @@ pub fn tx_complete(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> Cy
         p.cache
             .access_tagged(core, sock, FieldTag::BothRwByApp, false),
     );
-    let skbs = std::mem::take(&mut conn_ref.tx_inflight.skbs);
-    for skb in skbs {
+    for skb in conn_ref.tx_inflight.skbs.drain(..) {
         tracked.add(
             p.cache
                 .access_tagged(core, skb, FieldTag::BothRwByRx, false),
@@ -476,8 +475,7 @@ pub fn sys_read(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> (Cycl
             .access_tagged(core, sock, FieldTag::BothRwByRx, false),
     );
     tracked.add(access_some(p.cache, core, sock, FieldTag::AppOnly, true, 4));
-    let segs = std::mem::take(&mut conn_ref.rcv_queue);
-    for seg in &segs {
+    for seg in &conn_ref.rcv_queue {
         tracked.add(
             p.cache
                 .access_tagged(core, seg.skb, FieldTag::BothRwByRx, false),
@@ -503,9 +501,10 @@ pub fn sys_read(k: &mut Kernel, core: CoreId, at: Cycles, conn: ConnId) -> (Cycl
     let (_, spin) = conn_ref.lock.run_locked(at, hold, p.lockstat);
     let lock_overhead = p.lockstat.op_overhead();
     // Free the consumed buffers on the reading core (§2.2's remote
-    // deallocation problem when that is not the allocating core).
-    let mut tags = Vec::with_capacity(segs.len());
-    for seg in segs {
+    // deallocation problem when that is not the allocating core). Draining
+    // in place keeps the queue's capacity for the next request.
+    let mut tags = Vec::with_capacity(conn_ref.rcv_queue.len());
+    for seg in conn_ref.rcv_queue.drain(..) {
         tags.push(seg.tag);
         tracked.add(p.slab.free(core, seg.skb, p.cache));
         tracked.add(p.slab.free(core, seg.page, p.cache));
@@ -526,28 +525,28 @@ pub fn sys_writev(
     let n_chunks = bytes.div_ceil(1024).clamp(1, 8);
     let n_pkts = bytes.div_ceil(MSS).max(1);
     let mut tracked = Access::default();
-    let mut chunks = Vec::with_capacity(n_chunks as usize);
-    let mut skbs = Vec::with_capacity(n_pkts as usize);
+    let (conns, p) = k.split();
+    let conn_ref = conns.get_mut(&conn.0).expect("live connection");
+    // The fresh buffers go straight onto the inflight queues, whose
+    // capacity survives from the connection's previous responses.
     for _ in 0..n_chunks {
-        let (chunk, cost) = k.slab.alloc(core, DataType::Slab1024, &mut k.cache);
+        let (chunk, cost) = p.slab.alloc(core, DataType::Slab1024, p.cache);
         tracked.add(cost);
         tracked.add(
-            k.cache
+            p.cache
                 .access_tagged(core, chunk, FieldTag::BothRwByApp, true),
         );
         // Copy the response into the chunk: touches the whole payload
         // region (warm only if this core freed the chunk recently).
-        tracked.add(k.cache.access_tagged(core, chunk, FieldTag::AppOnly, true));
-        chunks.push(chunk);
+        tracked.add(p.cache.access_tagged(core, chunk, FieldTag::AppOnly, true));
+        conn_ref.tx_inflight.chunks.push(chunk);
     }
     for _ in 0..n_pkts {
-        let (skb, cost) = k.slab.alloc(core, DataType::SkBuff, &mut k.cache);
+        let (skb, cost) = p.slab.alloc(core, DataType::SkBuff, p.cache);
         tracked.add(cost);
-        tracked.add(k.cache.access_tagged(core, skb, FieldTag::BothRwByRx, true));
-        skbs.push(skb);
+        tracked.add(p.cache.access_tagged(core, skb, FieldTag::BothRwByRx, true));
+        conn_ref.tx_inflight.skbs.push(skb);
     }
-    let (conns, p) = k.split();
-    let conn_ref = conns.get_mut(&conn.0).expect("live connection");
     let sock = conn_ref.sock;
     tracked.add(lock_word_access(p.cache, core, sock));
     tracked.add(
@@ -565,8 +564,6 @@ pub fn sys_writev(
     let hold = CONN_LOCK_HOLD_BASE + tracked.latency;
     let (_, spin) = conn_ref.lock.run_locked(at, hold, p.lockstat);
     let lock_overhead = p.lockstat.op_overhead();
-    conn_ref.tx_inflight.chunks.extend(chunks);
-    conn_ref.tx_inflight.skbs.extend(skbs);
     let cycles = charge_parts(p.machine, p.perf, costs::SYS_WRITEV, tracked);
     (cycles + spin + lock_overhead, n_pkts)
 }

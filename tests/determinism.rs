@@ -94,3 +94,59 @@ fn audit_counters_are_self_consistent_with_results() {
     assert!(r.audit.client.started >= r.audit.client.completed);
     assert!(r.audit.kernel.created >= r.audit.kernel.removed);
 }
+
+// ------------------------------------------------------- scheduler goldens
+
+/// Golden fingerprints for the quick 8-core apache configs, captured on the
+/// binary-heap scheduler before the timer-wheel event queue landed. The
+/// wheel (and every hot-path change since) must reproduce the heap's event
+/// stream bit-for-bit; if one of these values ever changes, scheduling
+/// order changed and every recorded experiment is invalidated.
+const GOLDEN: [(ListenKind, u64, u64); 3] = [
+    (ListenKind::Stock, 0x6b30b1fe5417a104, 7262),
+    (ListenKind::Fine, 0xcac2e2fd90382a59, 7262),
+    (ListenKind::Affinity, 0x5fc6bb89978ee39c, 7266),
+];
+
+#[test]
+fn golden_fingerprints_match_heap_scheduler_seed() {
+    for (listen, fp, served) in GOLDEN {
+        let r = Runner::new(quick(listen, 8, 6_000.0)).run();
+        assert_eq!(
+            r.fingerprint, fp,
+            "{listen:?}: fingerprint {:#018x} != golden {fp:#018x} — \
+             the event schedule changed",
+            r.fingerprint
+        );
+        assert_eq!(r.served, served, "{listen:?}: served diverged from golden");
+        assert_eq!(
+            r.timeouts, 0,
+            "{listen:?}: goldens were captured timeout-free"
+        );
+    }
+}
+
+#[test]
+fn wheel_and_heap_backends_replay_identically() {
+    use sim::events::Backend;
+    for listen in [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity] {
+        let mut heap_cfg = quick(listen, 8, 6_000.0);
+        heap_cfg.evq = Backend::Heap;
+        let mut wheel_cfg = quick(listen, 8, 6_000.0);
+        wheel_cfg.evq = Backend::Wheel;
+        let h = Runner::new(heap_cfg).run();
+        let w = Runner::new(wheel_cfg).run();
+        assert_eq!(
+            h.fingerprint, w.fingerprint,
+            "{listen:?}: wheel diverged from heap: {:#018x} vs {:#018x}",
+            w.fingerprint, h.fingerprint
+        );
+        assert_eq!(
+            h.events_executed, w.events_executed,
+            "{listen:?}: event counts"
+        );
+        assert_eq!(h.served, w.served, "{listen:?}: served");
+        assert_eq!(h.migrations, w.migrations, "{listen:?}: migrations");
+        assert_eq!(h.audit, w.audit, "{listen:?}: audit counters");
+    }
+}
