@@ -27,6 +27,7 @@
 //! always on; `simcheck` and the figure binaries' `--check` flag fail
 //! loudly when any law breaks.
 
+use sim::fault::FaultStats;
 use sim::time::{ms, Cycles};
 
 /// Window busy time may legitimately overrun the measurement span by
@@ -44,6 +45,9 @@ pub struct ClientAudit {
     pub completed: u64,
     /// Connections abandoned at the client timeout.
     pub timed_out: u64,
+    /// Connections abandoned at the SYN-retransmission cap (nonzero only
+    /// under fault injection).
+    pub retry_capped: u64,
     /// Connections still live when the run ended.
     pub live: u64,
 }
@@ -150,6 +154,13 @@ pub struct RunAudit {
     pub perf_requests: u64,
     /// Events still pending when the run ended (informational).
     pub events_pending: u64,
+    /// Faults actually injected. Part of the audit so replay equality
+    /// covers the fault schedule itself.
+    pub fault: FaultStats,
+    /// Whether the run's [`sim::fault::FaultPlan`] could inject anything;
+    /// when false, every fault counter must be zero (the fault plane is
+    /// inert when disabled).
+    pub fault_active: bool,
 }
 
 impl RunAudit {
@@ -166,10 +177,11 @@ impl RunAudit {
 
         let c = &self.client;
         check(
-            c.started == c.completed + c.timed_out + c.live,
+            c.started == c.completed + c.timed_out + c.retry_capped + c.live,
             format!(
-                "client conservation: started {} != completed {} + timed_out {} + live {}",
-                c.started, c.completed, c.timed_out, c.live
+                "client conservation: started {} != completed {} + timed_out {} \
+                 + retry_capped {} + live {}",
+                c.started, c.completed, c.timed_out, c.retry_capped, c.live
             ),
         );
 
@@ -274,6 +286,18 @@ impl RunAudit {
                 self.served, self.perf_requests
             ),
         );
+
+        check(
+            self.fault_active || self.fault.is_zero(),
+            format!("fault plane fired with a disabled plan: {:?}", self.fault),
+        );
+        check(
+            self.fault.retry_capped == c.retry_capped,
+            format!(
+                "retry-cap accounting: fault plane counted {} give-ups, client fleet {}",
+                self.fault.retry_capped, c.retry_capped
+            ),
+        );
         v
     }
 
@@ -294,6 +318,7 @@ mod tests {
                 started: 10,
                 completed: 7,
                 timed_out: 1,
+                retry_capped: 0,
                 live: 2,
             },
             listen: ListenAudit {
@@ -336,6 +361,8 @@ mod tests {
             served: 42,
             perf_requests: 42,
             events_pending: 5,
+            fault: FaultStats::default(),
+            fault_active: false,
         }
     }
 

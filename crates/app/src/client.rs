@@ -44,6 +44,28 @@ struct CConn {
     requests_done: u32,
 }
 
+/// How a connection finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Finish {
+    Completed,
+    TimedOut,
+    /// Gave up at the SYN-retransmission cap (fault injection only).
+    RetryCapped,
+}
+
+/// Outcome of a SYN-retransmission timer firing.
+#[derive(Debug)]
+pub enum SynRetrans {
+    /// Still connecting and under the cap: retransmit this SYN.
+    Resend(Packet),
+    /// Still connecting at the cap: the client gave up; the connection
+    /// is finished and counted as retry-capped.
+    GiveUp,
+    /// The handshake already completed (or the connection is gone); the
+    /// timer dies with no action.
+    Stale,
+}
+
 /// What the client does in response to a stimulus.
 #[derive(Debug, Default)]
 pub struct Reaction {
@@ -73,6 +95,8 @@ pub struct Clients {
     pub responses: u64,
     /// Connections abandoned at the timeout.
     pub timeouts: u64,
+    /// Connections abandoned at the SYN-retry cap during measurement.
+    pub retry_capped: u64,
     /// Connections started during measurement.
     pub started: u64,
     /// Connections started over the whole run (never reset; the
@@ -83,6 +107,9 @@ pub struct Clients {
     /// Connections abandoned at the timeout over the whole run (never
     /// reset).
     pub total_timeouts: u64,
+    /// Connections abandoned at the SYN-retry cap over the whole run
+    /// (never reset; only nonzero under fault injection).
+    pub total_retry_capped: u64,
 }
 
 impl Clients {
@@ -102,10 +129,12 @@ impl Clients {
             completed: 0,
             responses: 0,
             timeouts: 0,
+            retry_capped: 0,
             started: 0,
             total_started: 0,
             total_completed: 0,
             total_timeouts: 0,
+            total_retry_capped: 0,
         }
     }
 
@@ -116,6 +145,7 @@ impl Clients {
         self.completed = 0;
         self.responses = 0;
         self.timeouts = 0;
+        self.retry_capped = 0;
         self.started = 0;
     }
 
@@ -184,20 +214,20 @@ impl Clients {
         self.by_tuple.get(tuple).copied()
     }
 
-    fn finish(&mut self, id: CConnId, now: Cycles, timed_out: bool) {
+    fn finish(&mut self, id: CConnId, now: Cycles, how: Finish) {
         if let Some(c) = self.conns.get_mut(&id) {
             c.state = CState::Done;
-            if timed_out {
-                self.total_timeouts += 1;
-            } else {
-                self.total_completed += 1;
+            match how {
+                Finish::Completed => self.total_completed += 1,
+                Finish::TimedOut => self.total_timeouts += 1,
+                Finish::RetryCapped => self.total_retry_capped += 1,
             }
             if self.measuring {
                 self.latencies.record(now - c.started);
-                if timed_out {
-                    self.timeouts += 1;
-                } else {
-                    self.completed += 1;
+                match how {
+                    Finish::Completed => self.completed += 1,
+                    Finish::TimedOut => self.timeouts += 1,
+                    Finish::RetryCapped => self.retry_capped += 1,
                 }
             }
             let tuple = c.tuple;
@@ -257,7 +287,7 @@ impl Clients {
                     r.send.push(Packet::new(tuple, PacketKind::DataAck, 0));
                     r.send.push(Packet::new(tuple, PacketKind::Fin, 0));
                     r.done = true;
-                    self.finish(id, now, false);
+                    self.finish(id, now, Finish::Completed);
                 }
             }
             _ => {}
@@ -289,8 +319,33 @@ impl Clients {
             return None;
         }
         let tuple = c.tuple;
-        self.finish(id, now, true);
+        self.finish(id, now, Finish::TimedOut);
         Some(Packet::new(tuple, PacketKind::Fin, 0))
+    }
+
+    /// SYN-retransmission timer fired for `id` after `attempt`
+    /// transmissions. While the connection is still in the handshake the
+    /// client either retransmits the SYN or — once `attempt` reaches
+    /// `max_attempts` — gives up, finishing the connection as
+    /// retry-capped. A completed handshake makes the timer stale.
+    pub fn on_syn_retrans(
+        &mut self,
+        now: Cycles,
+        id: CConnId,
+        attempt: u32,
+        max_attempts: u32,
+    ) -> SynRetrans {
+        let Some(c) = self.conns.get(&id) else {
+            return SynRetrans::Stale;
+        };
+        if c.state != CState::Connecting {
+            return SynRetrans::Stale;
+        }
+        if attempt >= max_attempts {
+            self.finish(id, now, Finish::RetryCapped);
+            return SynRetrans::GiveUp;
+        }
+        SynRetrans::Resend(Packet::new(c.tuple, PacketKind::Syn, 0))
     }
 }
 

@@ -16,7 +16,7 @@ use crate::audit::{
     ClientAudit, CycleAudit, KernelAudit, ListenAudit, PacketAudit, RingAudit, RunAudit,
 };
 use crate::batch::BatchJob;
-use crate::client::{CConnId, Clients};
+use crate::client::{CConnId, Clients, SynRetrans};
 use crate::evpool::{LazyTimers, PktSlab};
 use crate::server::{STask, ServerKind, TaskRole};
 use crate::workload::Workload;
@@ -31,6 +31,7 @@ use nic::{Nic, Packet, PacketKind, RxOutcome, Steering};
 use sim::core_set::CoreSet;
 use sim::events::Backend;
 use sim::fastmap::FastMap;
+use sim::fault::{FaultPlan, FaultStats};
 use sim::fingerprint::Fingerprint;
 use sim::rng::SimRng;
 use sim::time::{ms, us, Cycles, CYCLES_PER_SEC};
@@ -59,6 +60,25 @@ pub const HERD_MAX: usize = 8;
 pub const HOG_THREADS: u64 = 2;
 /// TCP maximum segment size used when segmenting responses.
 pub const MSS: u32 = tcp::ops::MSS;
+/// How often a [`ListenKind::BusyPoll`] acceptor re-polls its queue.
+pub const BUSY_POLL_INTERVAL: Cycles = us(50);
+/// Cycles one empty busy-poll probe of the accept queue costs.
+pub const BUSY_POLL_PROBE: Cycles = 120;
+
+// Fingerprint event-kind codes for fault-plane decisions. The `Ev`
+// variants fold as kinds 0..=14; fault markers use a disjoint range so a
+// fault schedule is visible in the fingerprint even when its consequences
+// happen to be invisible (e.g. dropping a packet that would have been
+// ignored anyway).
+const FOLD_FAULT_DROP: u64 = 16;
+const FOLD_FAULT_DUP: u64 = 17;
+const FOLD_FAULT_REORDER: u64 = 18;
+const FOLD_FAULT_SYN_DROP: u64 = 19;
+
+/// Salt for the dedicated fault-decision RNG stream: forked off the run
+/// seed by XOR (like the client fleet's stream) so fault draws never
+/// perturb the main stream — a disabled plan is fingerprint-neutral.
+const FAULT_RNG_SALT: u64 = 0xFA17_0FA1_7D5E_ED01;
 
 /// Which listen-socket implementation a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +89,14 @@ pub enum ListenKind {
     Fine,
     /// Affinity-Accept.
     Affinity,
+    /// Stock + hardware per-flow steering (§7.1's "Twenty-Policy"): the
+    /// first-class form of the `twenty_policy` config flag.
+    Twenty,
+    /// Affinity-Accept with busy-polling acceptors: instead of sleeping
+    /// until a wakeup, each core's acceptor re-polls its local queue
+    /// every [`BUSY_POLL_INTERVAL`], keeping the per-core busy tracker
+    /// (`core/busy.rs`) exercised even on an idle queue.
+    BusyPoll,
 }
 
 impl ListenKind {
@@ -79,8 +107,19 @@ impl ListenKind {
             ListenKind::Stock => "stock",
             ListenKind::Fine => "fine",
             ListenKind::Affinity => "affinity",
+            ListenKind::Twenty => "twenty",
+            ListenKind::BusyPoll => "busypoll",
         }
     }
+
+    /// Every listen kind the harnesses iterate over.
+    pub const ALL: [ListenKind; 5] = [
+        ListenKind::Stock,
+        ListenKind::Fine,
+        ListenKind::Affinity,
+        ListenKind::Twenty,
+        ListenKind::BusyPoll,
+    ];
 }
 
 /// Full configuration of one run.
@@ -132,6 +171,10 @@ pub struct RunConfig {
     /// heap is kept for differential tests and perf baselines — both must
     /// produce bit-identical run fingerprints.
     pub evq: Backend,
+    /// Fault-injection plan. The default ([`FaultPlan::none`]) schedules
+    /// no events and draws no randomness: fingerprints are bit-identical
+    /// to a build without the fault plane.
+    pub fault: FaultPlan,
 }
 
 impl RunConfig {
@@ -168,6 +211,7 @@ impl RunConfig {
             max_backlog: 128 * cores,
             tracked_files: 2_000,
             evq: Backend::Wheel,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -215,6 +259,8 @@ pub struct RunResult {
     pub events_executed: u64,
     /// End-of-run conservation audit (see [`crate::audit`]).
     pub audit: RunAudit,
+    /// Faults actually injected (all zero when the plan is disabled).
+    pub fault: FaultStats,
     /// The kernel, for DProf and further inspection.
     pub kernel: Kernel,
 }
@@ -257,6 +303,12 @@ enum Ev {
     SchedBalance,
     Hog(u16),
     MeasureStart,
+    /// Client SYN-retransmission timer: `(client conn id, attempt)`.
+    SynRetrans(u32, u32),
+    /// One [`sim::fault::StallWindow`] firing (index into the plan).
+    CoreStall(u32),
+    /// Busy-poll tick of core's acceptor ([`ListenKind::BusyPoll`]).
+    PollAccept(u16),
 }
 
 const _: () = assert!(
@@ -309,6 +361,11 @@ pub struct Runner {
     hog_seen: Vec<(Cycles, Cycles)>,
     softirq_pending: Vec<bool>,
     rng: SimRng,
+    /// Dedicated RNG stream for fault-plane decisions; never touched when
+    /// the plan has no packet faults, so the main stream stays aligned
+    /// with fault-free builds.
+    fault_rng: SimRng,
+    fstats: FaultStats,
     measuring: bool,
     end_at: Cycles,
     served: u64,
@@ -360,7 +417,8 @@ impl Runner {
         k.init_files(cfg.tracked_files);
 
         let rings = cfg.cores.min(cfg.machine.total_rings());
-        let steering = if cfg.twenty_policy {
+        let twenty_mode = cfg.twenty_policy || cfg.listen == ListenKind::Twenty;
+        let steering = if twenty_mode {
             Steering::per_flow(rings, nic::steering::FDIR_DEFAULT_CAPACITY)
         } else {
             Steering::flow_groups(rings, nic::steering::DEFAULT_FLOW_GROUPS)
@@ -373,9 +431,11 @@ impl Runner {
         lcfg.steal_ratio_local = cfg.steal_ratio_local;
         lcfg.max_backlog = cfg.max_backlog;
         let listen: Box<dyn ListenSocket> = match cfg.listen {
-            ListenKind::Stock => Box::new(StockAccept::new(&mut k, lcfg)),
+            ListenKind::Stock | ListenKind::Twenty => Box::new(StockAccept::new(&mut k, lcfg)),
             ListenKind::Fine => Box::new(FineAccept::new(&mut k, lcfg)),
-            ListenKind::Affinity => Box::new(AffinityAccept::new(&mut k, lcfg)),
+            ListenKind::Affinity | ListenKind::BusyPoll => {
+                Box::new(AffinityAccept::new(&mut k, lcfg))
+            }
         };
 
         let clients = Clients::new(cfg.workload.clone(), cfg.seed);
@@ -418,7 +478,7 @@ impl Runner {
             BatchJob::kernel_make(work, hog_cores, 0)
         });
 
-        let twenty = cfg.twenty_policy.then(TwentyPolicy::new);
+        let twenty = twenty_mode.then(TwentyPolicy::new);
         let arrival_interval_mean = CYCLES_PER_SEC as f64 / cfg.conn_rate.max(1e-9);
         let end_at = cfg.warmup + cfg.measure;
         let n_rings = nic.n_rings();
@@ -440,6 +500,8 @@ impl Runner {
 
         let mut r = Self {
             rng: SimRng::new(cfg.seed),
+            fault_rng: SimRng::new(cfg.seed ^ FAULT_RNG_SALT),
+            fstats: FaultStats::default(),
             q,
             pkts,
             timers,
@@ -492,6 +554,14 @@ impl Runner {
         if let Some(job) = &r.hog {
             for c in job.cores().to_vec() {
                 r.q.push(0, Ev::Hog(c.0));
+            }
+        }
+        for (i, w) in r.cfg.fault.stalls.iter().enumerate() {
+            r.q.push(w.at, Ev::CoreStall(i as u32));
+        }
+        if r.cfg.listen == ListenKind::BusyPoll {
+            for c in 0..r.cfg.cores {
+                r.q.push(BUSY_POLL_INTERVAL, Ev::PollAccept(c as u16));
             }
         }
         r
@@ -932,6 +1002,23 @@ impl Runner {
     fn dispatch_packet(&mut self, core: CoreId, start: Cycles, pkt: Packet) -> Cycles {
         match pkt.kind {
             PacketKind::Syn => {
+                if self.k.est.lookup(&pkt.tuple).is_some() {
+                    // A stale retransmitted SYN for an already-established
+                    // connection (possible only under fault injection):
+                    // real TCP answers with a challenge ACK; the sim just
+                    // ignores it rather than double-inserting the tuple.
+                    return ops::SYN_DUP_COST;
+                }
+                if self.cfg.fault.syn_overflow_drop && self.listen.backlogged(core) {
+                    // Accept backlog full: drop the SYN instead of
+                    // allocating a request socket for a handshake that
+                    // cannot be accepted. The client's retransmission
+                    // timer recovers (or gives up at the cap).
+                    self.fstats.syn_backlog_drops += 1;
+                    self.fingerprint
+                        .fold_event(self.now, FOLD_FAULT_SYN_DROP, pkt.tuple.hash());
+                    return ops::SYN_DUP_COST;
+                }
                 let d = self.listen.on_syn(&mut self.k, core, start, pkt.tuple);
                 self.tx_control(start + d, pkt.tuple, PacketKind::SynAck);
                 d
@@ -1043,6 +1130,9 @@ impl Runner {
             Ev::SchedBalance => (9, 0),
             Ev::Hog(core) => (10, u64::from(*core)),
             Ev::MeasureStart => (11, 0),
+            Ev::SynRetrans(cid, attempt) => (12, u64::from(*cid) ^ u64::from(*attempt) << 48),
+            Ev::CoreStall(i) => (13, u64::from(*i)),
+            Ev::PollAccept(core) => (14, u64::from(*core)),
         };
         self.fingerprint.fold_event(t, kind, payload);
     }
@@ -1052,6 +1142,12 @@ impl Runner {
             Ev::Arrival => {
                 let (cid, syn) = self.clients.start_conn(self.now);
                 self.send_to_server(syn, self.now + PROP_DELAY);
+                if let Some(rp) = self.cfg.fault.retrans {
+                    self.q.push(
+                        self.now + rp.backoff(1),
+                        Ev::SynRetrans(Self::ev_cid(cid), 1),
+                    );
+                }
                 let gen = self.timers.arm(cid);
                 self.q.push(
                     self.now + self.clients.workload().timeout,
@@ -1060,15 +1156,20 @@ impl Runner {
                 let gap = self.rng.exp(self.arrival_interval_mean).max(1.0) as Cycles;
                 self.q.push(self.now + gap, Ev::Arrival);
             }
-            Ev::Wire(handle) => match self.nic.rx(self.now, self.pkts.take(handle)) {
-                RxOutcome::Delivered { ring, at } => {
-                    if !self.softirq_pending[ring.0 as usize] {
-                        self.softirq_pending[ring.0 as usize] = true;
-                        self.q.push(at + IRQ_LATENCY, Ev::Softirq(ring.0));
-                    }
+            Ev::Wire(handle) => {
+                if self.cfg.fault.has_packet_faults() && !self.wire_fault(handle) {
+                    return;
                 }
-                RxOutcome::DroppedRingFull | RxOutcome::DroppedFlush => {}
-            },
+                match self.nic.rx(self.now, self.pkts.take(handle)) {
+                    RxOutcome::Delivered { ring, at } => {
+                        if !self.softirq_pending[ring.0 as usize] {
+                            self.softirq_pending[ring.0 as usize] = true;
+                            self.q.push(at + IRQ_LATENCY, Ev::Softirq(ring.0));
+                        }
+                    }
+                    RxOutcome::DroppedRingFull | RxOutcome::DroppedFlush => {}
+                }
+            }
             Ev::Softirq(ring) => self.softirq(ring),
             Ev::TaskRun(tid) => self.task_run(tid),
             Ev::Think(cid) => {
@@ -1203,7 +1304,108 @@ impl Runner {
                 self.base_wire_bytes = self.nic.wire.bytes;
                 self.base_migrations = self.listen.stats().flow_migrations;
             }
+            Ev::SynRetrans(cid, attempt) => {
+                let id = CConnId::from(cid);
+                let Some(rp) = self.cfg.fault.retrans else {
+                    return;
+                };
+                match self
+                    .clients
+                    .on_syn_retrans(self.now, id, attempt, rp.max_attempts)
+                {
+                    SynRetrans::Resend(syn) => {
+                        self.fstats.retrans_sent += 1;
+                        self.send_to_server(syn, self.now + PROP_DELAY);
+                        self.q.push(
+                            self.now + rp.backoff(attempt + 1),
+                            Ev::SynRetrans(cid, attempt + 1),
+                        );
+                    }
+                    SynRetrans::GiveUp => {
+                        // The client abandoned the handshake at the retry
+                        // cap; nothing established server-side, so no FIN.
+                        self.fstats.retry_capped += 1;
+                        self.timers.cancel(id);
+                    }
+                    SynRetrans::Stale => {}
+                }
+            }
+            Ev::CoreStall(i) => {
+                let w = self.cfg.fault.stalls[i as usize];
+                let core = CoreId(w.core % self.cfg.cores as u16);
+                // Stolen CPU time: charged like softirq work (above any
+                // user thread), starting when the core next frees up.
+                let start = self.cores.start_time(core, self.now);
+                self.cores.run(core, start, w.dur);
+                self.fstats.stalls_run += 1;
+            }
+            Ev::PollAccept(core_idx) => {
+                let core = CoreId(core_idx);
+                // Busy-polling acceptor: probe the local queue instead of
+                // waiting for the enqueue-side wakeup. A hit wakes the
+                // core's sleeping acceptor; a miss just burns the probe.
+                if self.listen.queued_on(core) > 0 {
+                    if let Some(tid) = self.sleep_acceptors[core.index()].pop() {
+                        let t = &mut self.tasks[tid as usize];
+                        t.sleeping = false;
+                        t.just_woken = true;
+                        let run_at = self.cores.start_time(core, self.now);
+                        self.schedule_task(tid, run_at);
+                    }
+                } else {
+                    let start = self.cores.start_time(core, self.now);
+                    self.cores.run(core, start, BUSY_POLL_PROBE);
+                }
+                if self.now < self.end_at {
+                    self.q
+                        .push(self.now + BUSY_POLL_INTERVAL, Ev::PollAccept(core_idx));
+                }
+            }
         }
+    }
+
+    /// Applies the packet fault plan to an in-flight client→server
+    /// packet. Returns `false` when the packet was consumed here (dropped,
+    /// or deferred to a later delivery time); `true` lets delivery
+    /// proceed. A duplicate is cloned into the slab and delivered through
+    /// its own `Ev::Wire` event, where it rolls its own fault dice.
+    fn wire_fault(&mut self, handle: u32) -> bool {
+        let (key, ring) = {
+            let pkt = self.pkts.get(handle);
+            let ring = self.nic.steering.route(&pkt.tuple, self.nic.n_rings());
+            (pkt.tuple.hash(), ring)
+        };
+        if !self.cfg.fault.ring_enabled(ring.0) {
+            return true;
+        }
+        let (drop_p, dup_p, reorder_p, reorder_delay) = (
+            self.cfg.fault.drop_p,
+            self.cfg.fault.dup_p,
+            self.cfg.fault.reorder_p,
+            self.cfg.fault.reorder_delay,
+        );
+        if self.fault_rng.chance(drop_p) {
+            let _ = self.pkts.take(handle);
+            self.fstats.dropped += 1;
+            self.fingerprint.fold_event(self.now, FOLD_FAULT_DROP, key);
+            return false;
+        }
+        if self.fault_rng.chance(dup_p) {
+            let copy = *self.pkts.get(handle);
+            let dup = self.pkts.intern(copy);
+            self.q.push(self.now, Ev::Wire(dup));
+            self.fstats.duplicated += 1;
+            self.fingerprint.fold_event(self.now, FOLD_FAULT_DUP, key);
+        }
+        if self.fault_rng.chance(reorder_p) {
+            let extra = 1 + self.fault_rng.below(reorder_delay.max(1));
+            self.q.push(self.now + extra, Ev::Wire(handle));
+            self.fstats.reordered += 1;
+            self.fingerprint
+                .fold_event(self.now, FOLD_FAULT_REORDER, key);
+            return false;
+        }
+        true
     }
 
     /// Runs the simulation to completion and returns the measurements.
@@ -1283,6 +1485,7 @@ impl Runner {
                 started: self.clients.total_started,
                 completed: self.clients.total_completed,
                 timed_out: self.clients.total_timeouts,
+                retry_capped: self.clients.total_retry_capped,
                 live: self.clients.live() as u64,
             },
             listen: ListenAudit {
@@ -1320,6 +1523,8 @@ impl Runner {
             served,
             perf_requests: self.k.perf.requests,
             events_pending: self.q.len() as u64,
+            fault: self.fstats,
+            fault_active: self.cfg.fault.is_active(),
         };
 
         // Recycle the queue, slab and timer table (reset, capacity kept)
@@ -1361,6 +1566,7 @@ impl Runner {
             fingerprint: self.fingerprint.value(),
             events_executed: self.events_executed,
             audit,
+            fault: self.fstats,
             kernel: self.k,
         }
     }

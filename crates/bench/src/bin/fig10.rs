@@ -21,10 +21,10 @@ fn config_for(listen: ListenKind, n: u32, twenty: bool) -> RunConfig {
     cfg.workload = Workload::with_requests_per_conn(n);
     cfg.twenty_policy = twenty;
     let per_req = match listen {
-        ListenKind::Stock if twenty => 230_000.0 + 1_300_000.0 / f64::from(n),
-        ListenKind::Stock => 240_000.0 + 1_300_000.0 / f64::from(n),
+        ListenKind::Stock | ListenKind::Twenty if twenty => 230_000.0 + 1_300_000.0 / f64::from(n),
+        ListenKind::Stock | ListenKind::Twenty => 240_000.0 + 1_300_000.0 / f64::from(n),
         ListenKind::Fine => 210_000.0 + 380_000.0 / f64::from(n),
-        ListenKind::Affinity => 175_000.0 + 330_000.0 / f64::from(n),
+        ListenKind::Affinity | ListenKind::BusyPoll => 175_000.0 + 330_000.0 / f64::from(n),
     };
     let rps = 48.0 * 2.4e9 / per_req;
     cfg.conn_rate = rps / f64::from(n);

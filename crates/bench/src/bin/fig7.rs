@@ -20,9 +20,9 @@ fn config_for(listen: ListenKind, n: u32) -> RunConfig {
     // Per-request cost shrinks as per-connection overhead amortizes; the
     // guess accounts for that so the search converges quickly.
     let per_req = match listen {
-        ListenKind::Stock => 240_000.0 + 1_300_000.0 / f64::from(n),
+        ListenKind::Stock | ListenKind::Twenty => 240_000.0 + 1_300_000.0 / f64::from(n),
         ListenKind::Fine => 210_000.0 + 380_000.0 / f64::from(n),
-        ListenKind::Affinity => 175_000.0 + 330_000.0 / f64::from(n),
+        ListenKind::Affinity | ListenKind::BusyPoll => 175_000.0 + 330_000.0 / f64::from(n),
     };
     let rps = 48.0 * 2.4e9 / per_req;
     cfg.conn_rate = rps / f64::from(n);

@@ -10,56 +10,18 @@
 //! The job is scaled down ~100× so the simulation completes quickly;
 //! compare the runtime *ratios*.
 
-use app::{ListenKind, RunConfig, Runner, ServerKind, Workload};
+use app::Runner;
 use metrics::table::Table;
-use sim::time::{ms, secs, to_ms};
-use sim::topology::Machine;
-
-/// Undisturbed wall-clock target for the make job: the paper's 125 s
-/// scaled down 100×.
-fn make_work() -> u64 {
-    secs(5) / 4
-}
-
-fn config(web: bool, migration: bool) -> RunConfig {
-    let mut wl = Workload::base();
-    wl.timeout = ms(2_500);
-    let rate = if web {
-        0.5 * 10_300.0 * 48.0 / 6.0
-    } else {
-        1.0
-    };
-    let mut cfg = RunConfig::new(
-        Machine::amd48(),
-        48,
-        ListenKind::Affinity,
-        ServerKind::lighttpd(),
-        wl,
-        rate,
-    );
-    cfg.app_cycles = cfg.server.app_cycles();
-    cfg.warmup = ms(600);
-    cfg.measure = ms(400);
-    cfg.hog_work = Some(make_work());
-    cfg.steal_enabled = true;
-    cfg.migrate_enabled = migration;
-    // The job is time-compressed 100x; scale the 100 ms migration cadence
-    // with it so the balancer moves the same share of flow groups per
-    // job-second as in the paper.
-    cfg.migrate_interval = ms(2);
-    cfg
-}
+use sim::time::to_ms;
 
 fn main() {
     bench::header(
         "lb_migration",
         "batch-job runtime with and without flow-group migration (§6.5)",
     );
-    let cases = [
-        ("make alone", config(false, true)),
-        ("make + web, no migration", config(true, false)),
-        ("make + web, migration", config(true, true)),
-    ];
+    // The full (config, seed) set is pinned in `bench::lb` so the
+    // recorded table in EXPERIMENTS.md regenerates exactly.
+    let cases = bench::lb::lb_migration_cases();
     let mut runtimes = Vec::new();
     let mut t = Table::new(&[
         "configuration",

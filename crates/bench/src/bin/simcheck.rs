@@ -561,6 +561,8 @@ fn repro_test(cfg: &RunConfig, problems: &[String]) -> String {
         ListenKind::Stock => "ListenKind::Stock",
         ListenKind::Fine => "ListenKind::Fine",
         ListenKind::Affinity => "ListenKind::Affinity",
+        ListenKind::Twenty => "ListenKind::Twenty",
+        ListenKind::BusyPoll => "ListenKind::BusyPoll",
     };
     let server = if cfg.server.poll_based() {
         "ServerKind::lighttpd()"

@@ -14,6 +14,8 @@ use app::{ListenKind, RunConfig, RunResult, ServerKind, Workload};
 use sim::time::ms;
 use sim::topology::Machine;
 
+pub mod lb;
+
 /// The three listen-socket implementations every figure compares.
 pub const IMPLS: [ListenKind; 3] = [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity];
 
@@ -34,11 +36,12 @@ pub fn intel_core_counts() -> Vec<usize> {
 #[must_use]
 pub fn rate_guess(listen: ListenKind, server: ServerKind, cores: usize) -> f64 {
     let per_core_rps: f64 = match (listen, server.poll_based()) {
-        (ListenKind::Stock, _) => (160_000.0 / cores as f64).min(12_500.0),
+        // Twenty shares stock's single accept lock, so it saturates there.
+        (ListenKind::Stock | ListenKind::Twenty, _) => (160_000.0 / cores as f64).min(12_500.0),
         (ListenKind::Fine, false) => 8_700.0,
-        (ListenKind::Affinity, false) => 9_800.0,
+        (ListenKind::Affinity | ListenKind::BusyPoll, false) => 9_800.0,
         (ListenKind::Fine, true) => 13_500.0,
-        (ListenKind::Affinity, true) => 15_500.0,
+        (ListenKind::Affinity | ListenKind::BusyPoll, true) => 15_500.0,
     };
     let rps = per_core_rps * cores as f64;
     // Cap near the wire's capacity for large responses.

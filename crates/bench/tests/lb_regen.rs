@@ -1,0 +1,32 @@
+//! Regenerates the recorded §6.5-B table from its pinned `(config, seed)`
+//! and checks the numbers EXPERIMENTS.md quotes. Three 48-core runs, so
+//! `#[ignore]`d by default; the nightly CI job runs it with `--ignored`:
+//!
+//! ```sh
+//! cargo test --release -p bench --test lb_regen -- --ignored
+//! ```
+
+use app::Runner;
+use bench::lb::{lb_migration_cases, LB_MIGRATION_RECORDED_MS};
+use sim::time::to_ms;
+
+#[test]
+#[ignore = "three 48-core runs; nightly CI and manual regeneration only"]
+fn lb_migration_table_regenerates_exactly() {
+    for ((name, cfg), recorded) in lb_migration_cases()
+        .into_iter()
+        .zip(LB_MIGRATION_RECORDED_MS)
+    {
+        let r = Runner::new(cfg).run();
+        let rt = r.batch_runtime.expect("job ran");
+        let shown = format!("{:.0}", to_ms(rt));
+        assert_eq!(
+            shown,
+            recorded.to_string(),
+            "[{name}] make runtime diverged from the recorded table \
+             (EXPERIMENTS.md §6.5-B / results/lb_migration.txt)"
+        );
+        let v = r.audit.violations();
+        assert!(v.is_empty(), "[{name}] audit violations: {v:?}");
+    }
+}

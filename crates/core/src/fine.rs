@@ -153,6 +153,10 @@ impl ListenSocket for FineAccept {
         }
     }
 
+    fn backlogged(&self, core: CoreId) -> bool {
+        self.queues[core.index()].items.len() >= self.cfg.max_local_queue()
+    }
+
     fn queued_on(&self, core: CoreId) -> usize {
         self.queues[core.index()].items.len()
     }

@@ -209,6 +209,13 @@ pub trait ListenSocket {
         true
     }
 
+    /// Whether a handshake arriving on `core` would find its accept queue
+    /// already full: the global backlog for stock, `core`'s local queue
+    /// for the per-core implementations. The fault plane uses this to
+    /// drop SYNs at a saturated backlog (Linux with syncookies off)
+    /// instead of allocating request sockets for doomed handshakes.
+    fn backlogged(&self, core: CoreId) -> bool;
+
     /// Pending connections on `core`'s queue (or the global queue).
     fn queued_on(&self, core: CoreId) -> usize;
 

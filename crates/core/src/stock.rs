@@ -171,6 +171,10 @@ impl ListenSocket for StockAccept {
         }
     }
 
+    fn backlogged(&self, _core: CoreId) -> bool {
+        self.queue.items.len() >= self.cfg.max_backlog
+    }
+
     fn queued_on(&self, _core: CoreId) -> usize {
         self.queue.items.len()
     }

@@ -1,0 +1,234 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes every adversity a run injects: packet-level
+//! faults (drop / duplicate / reorder, per NIC ring), SYN drops at a full
+//! accept backlog with client-side retransmission and exponential backoff
+//! ([`RetransPolicy`]), and windows of stolen CPU time on individual cores
+//! ([`StallWindow`]). The plan is *data*: the runner draws every
+//! probabilistic decision from a dedicated [`crate::rng::SimRng`] stream
+//! derived from the run seed, so a `(config, plan, seed)` triple replays
+//! the exact same fault schedule bit-for-bit, and each triggered fault is
+//! folded into the run fingerprint.
+//!
+//! The disabled plan ([`FaultPlan::none`], the default) is
+//! **fingerprint-neutral**: it schedules no events and draws nothing from
+//! any RNG stream, so golden fingerprints captured before the fault plane
+//! existed stay bit-identical.
+
+use crate::time::Cycles;
+
+/// Client SYN retransmission policy (the simulated equivalent of the TCP
+/// SYN retransmission timer with exponential backoff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetransPolicy {
+    /// Initial retransmission timeout; doubles on every retry.
+    pub rto: Cycles,
+    /// Total SYN transmissions allowed (initial send + retries). When the
+    /// cap is reached without a SYN-ACK the client gives up and the
+    /// connection is counted as *retry-capped*.
+    pub max_attempts: u32,
+}
+
+impl RetransPolicy {
+    /// A Linux-flavoured default scaled to simulation time: 50 ms initial
+    /// RTO, 5 total attempts.
+    #[must_use]
+    pub fn default_policy() -> Self {
+        Self {
+            rto: crate::time::ms(50),
+            max_attempts: 5,
+        }
+    }
+
+    /// The backoff delay before attempt number `attempt` (1-based count
+    /// of transmissions already made): `rto << (attempt - 1)`, capped so
+    /// the shift never overflows.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Cycles {
+        self.rto
+            .saturating_mul(1 << attempt.saturating_sub(1).min(16))
+    }
+}
+
+/// One window of stolen CPU time on one core (a co-located job, an IRQ
+/// storm, a hypervisor steal): the core executes `dur` cycles of
+/// non-web work starting when it is next free after `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallWindow {
+    /// Core to stall (wrapped modulo the active core count).
+    pub core: u16,
+    /// Simulated time the stall is requested.
+    pub at: Cycles,
+    /// Stolen cycles.
+    pub dur: Cycles,
+}
+
+/// A complete, replayable fault schedule for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a client→server packet is dropped in flight.
+    pub drop_p: f64,
+    /// Probability a client→server packet is duplicated in flight.
+    pub dup_p: f64,
+    /// Probability a client→server packet is delayed (reordered past
+    /// packets behind it).
+    pub reorder_p: f64,
+    /// Maximum extra delay a reordered packet picks up (uniform in
+    /// `[1, reorder_delay]`).
+    pub reorder_delay: Cycles,
+    /// Bitmask of NIC rings the packet faults apply to (bit *i* = ring
+    /// *i*); `u64::MAX` means every ring.
+    pub ring_mask: u64,
+    /// Drop SYNs arriving while the target accept backlog is full instead
+    /// of allocating a request socket for a handshake that cannot be
+    /// accepted (Linux with syncookies off). The client retransmits.
+    pub syn_overflow_drop: bool,
+    /// Client SYN retransmission with exponential backoff; `None` leaves
+    /// the seed behavior (a lost SYN is only recovered by the
+    /// per-connection timeout).
+    pub retrans: Option<RetransPolicy>,
+    /// Explicit core-stall windows.
+    pub stalls: Vec<StallWindow>,
+}
+
+impl FaultPlan {
+    /// The disabled plan: no faults, no extra events, no RNG draws.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            drop_p: 0.0,
+            dup_p: 0.0,
+            reorder_p: 0.0,
+            reorder_delay: 0,
+            ring_mask: u64::MAX,
+            syn_overflow_drop: false,
+            retrans: None,
+            stalls: Vec::new(),
+        }
+    }
+
+    /// Whether any packet-level fault can fire (gates the per-packet
+    /// probability draws so the disabled plan draws nothing).
+    #[must_use]
+    pub fn has_packet_faults(&self) -> bool {
+        self.drop_p > 0.0 || self.dup_p > 0.0 || self.reorder_p > 0.0
+    }
+
+    /// Whether the plan injects anything at all.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.has_packet_faults()
+            || self.syn_overflow_drop
+            || self.retrans.is_some()
+            || !self.stalls.is_empty()
+    }
+
+    /// Whether packet faults apply to `ring`.
+    #[must_use]
+    pub fn ring_enabled(&self, ring: u16) -> bool {
+        ring >= 64 || self.ring_mask & (1 << ring) != 0
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Counters of faults actually injected during a run; carried in the run
+/// audit so replay equality covers the fault schedule itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Client→server packets dropped in flight.
+    pub dropped: u64,
+    /// Client→server packets duplicated in flight.
+    pub duplicated: u64,
+    /// Client→server packets delayed past their wire order.
+    pub reordered: u64,
+    /// SYNs dropped at a full accept backlog.
+    pub syn_backlog_drops: u64,
+    /// SYN retransmissions the client fleet sent.
+    pub retrans_sent: u64,
+    /// Connections abandoned at the retry cap.
+    pub retry_capped: u64,
+    /// Core-stall windows executed.
+    pub stalls_run: u64,
+}
+
+impl FaultStats {
+    /// Whether no fault ever fired (required when the plan is disabled).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::ms;
+
+    #[test]
+    fn disabled_plan_is_inactive() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert!(!p.has_packet_faults());
+        assert_eq!(p, FaultPlan::default());
+    }
+
+    #[test]
+    fn any_knob_activates() {
+        let mut p = FaultPlan::none();
+        p.drop_p = 0.01;
+        assert!(p.is_active() && p.has_packet_faults());
+
+        let mut p = FaultPlan::none();
+        p.syn_overflow_drop = true;
+        assert!(p.is_active() && !p.has_packet_faults());
+
+        let mut p = FaultPlan::none();
+        p.retrans = Some(RetransPolicy::default_policy());
+        assert!(p.is_active());
+
+        let mut p = FaultPlan::none();
+        p.stalls.push(StallWindow {
+            core: 0,
+            at: ms(1),
+            dur: ms(1),
+        });
+        assert!(p.is_active());
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let rp = RetransPolicy {
+            rto: 100,
+            max_attempts: 4,
+        };
+        assert_eq!(rp.backoff(1), 100);
+        assert_eq!(rp.backoff(2), 200);
+        assert_eq!(rp.backoff(3), 400);
+        // Deep attempts cap the shift instead of overflowing.
+        assert!(rp.backoff(80) >= rp.backoff(17));
+    }
+
+    #[test]
+    fn ring_mask_selects_rings() {
+        let mut p = FaultPlan::none();
+        p.ring_mask = 0b101;
+        assert!(p.ring_enabled(0));
+        assert!(!p.ring_enabled(1));
+        assert!(p.ring_enabled(2));
+        // Rings beyond the mask width are always enabled.
+        assert!(p.ring_enabled(64));
+    }
+
+    #[test]
+    fn stats_zero_detection() {
+        let mut s = FaultStats::default();
+        assert!(s.is_zero());
+        s.dropped = 1;
+        assert!(!s.is_zero());
+    }
+}

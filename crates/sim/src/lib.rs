@@ -17,6 +17,9 @@
 //!   fingerprints, making any lost determinism loud.
 //! * [`rng`] — a seeded, dependency-free PRNG so a `(config, seed)` pair
 //!   reproduces a run event-for-event.
+//! * [`fault`] — the deterministic fault-injection plane: replayable
+//!   packet drop/duplicate/reorder schedules, SYN-retransmission policy,
+//!   and core-stall windows, all derived from the run seed.
 //! * [`lock`] — the timeline lock model: locks are resources with a
 //!   `free_at` horizon; acquisitions either spin (charged as busy cycles)
 //!   or sleep (charged as idle time, Linux's socket-lock "mutex mode"),
@@ -33,6 +36,7 @@
 pub mod core_set;
 pub mod events;
 pub mod fastmap;
+pub mod fault;
 pub mod fingerprint;
 pub mod lock;
 pub mod rng;
@@ -44,6 +48,7 @@ pub mod wheel;
 pub use core_set::{CoreSet, TaskId};
 pub use events::{Backend, EventQueue};
 pub use fastmap::FastMap;
+pub use fault::{FaultPlan, FaultStats, RetransPolicy, StallWindow};
 pub use fingerprint::Fingerprint;
 pub use lock::TimelineLock;
 pub use rng::SimRng;

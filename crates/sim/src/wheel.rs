@@ -434,6 +434,107 @@ mod tests {
     }
 
     #[test]
+    fn events_at_exact_level_boundaries() {
+        // 256^k is the first timestamp that rolls level k-1 over into
+        // level k: bit k*8 is the highest differing bit from cursor 0.
+        // Each boundary, its predecessor, and its successor must all
+        // deliver in strict time order.
+        let mut w = TimerWheel::new();
+        let mut times = Vec::new();
+        for k in 1..LEVELS as u32 {
+            let b = 1u64 << (k * SLOT_BITS);
+            times.extend([b - 1, b, b + 1]);
+        }
+        // Push in a scrambled order so placement can't ride insertion
+        // order.
+        for (i, t) in times.iter().rev().enumerate() {
+            w.push(*t, i);
+        }
+        times.sort_unstable();
+        for t in times {
+            assert_eq!(w.pop().map(|(pt, _)| pt), Some(t), "boundary {t:#x}");
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn boundaries_relative_to_nonzero_cursor() {
+        // Placement is cursor-relative (highest differing bit), so the
+        // interesting rollovers move with the cursor. Park the cursor at
+        // an awkward position, then exercise every level boundary from
+        // there.
+        let mut w = TimerWheel::new();
+        let cursor = (3u64 << 16) + 257;
+        w.push(cursor, usize::MAX);
+        assert_eq!(w.pop(), Some((cursor, usize::MAX)));
+        let mut times = Vec::new();
+        for k in 1..LEVELS as u32 {
+            let b = cursor + (1u64 << (k * SLOT_BITS));
+            times.extend([b - 1, b, b + 1]);
+        }
+        for (i, t) in times.iter().enumerate() {
+            w.push(*t, i);
+        }
+        times.sort_unstable();
+        for t in times {
+            assert_eq!(w.pop().map(|(pt, _)| pt), Some(t), "boundary {t:#x}");
+        }
+    }
+
+    #[test]
+    fn dense_run_straddling_a_rollover() {
+        // Every tick across the 256^2 rollover: the low half lives in
+        // level 1, the high half in level 2 until the cursor reaches its
+        // window; the seam must not reorder or drop anything.
+        let b = 1u64 << (2 * SLOT_BITS);
+        let mut w = TimerWheel::new();
+        for t in (b - 300)..(b + 300) {
+            w.push(t, t);
+        }
+        for t in (b - 300)..(b + 300) {
+            assert_eq!(w.pop(), Some((t, t)), "tick {t:#x}");
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cascade_across_boundary_keeps_fifo() {
+        // Ties at an exact level boundary, pushed from cursor positions
+        // that park them at *different* levels (direct level-2 insert vs
+        // level-1 insert after the cursor advanced past the low window).
+        // Delivery must still follow global push order — the sort the
+        // level-0 drain performs.
+        let t = 1u64 << (2 * SLOT_BITS);
+        let mut w = TimerWheel::new();
+        w.push(t, "a"); // cursor 0: highest differing bit 16 -> level 2
+        w.push(300, "advance");
+        w.push(t, "b");
+        assert_eq!(w.pop(), Some((300, "advance")));
+        // Cursor 300: t ^ 300 still differs at bit 16, but a cascade of
+        // the level-2 bucket now lands entries straight into level 1/0.
+        w.push(t, "c");
+        assert_eq!(w.pop(), Some((t, "a")));
+        assert_eq!(w.pop(), Some((t, "b")));
+        assert_eq!(w.pop(), Some((t, "c")));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn rollover_from_mid_window_cursor() {
+        // From a mid-window cursor (200), an event 100 ticks ahead (300)
+        // crosses the 256-boundary: bit 8 differs, so it parks at level 1
+        // even though it is nearer than a same-window event would be, and
+        // must cascade back down ahead of delivery.
+        let mut w = TimerWheel::new();
+        w.push(200, "at-200");
+        assert_eq!(w.pop(), Some((200, "at-200")));
+        w.push(300, "next-window");
+        w.push(210, "same-window");
+        assert_eq!(w.pop(), Some((210, "same-window")));
+        assert_eq!(w.pop(), Some((300, "next-window")));
+    }
+
+    #[test]
     fn sparse_far_jumps_with_dense_clusters() {
         let mut w = TimerWheel::new();
         let mut expect = Vec::new();

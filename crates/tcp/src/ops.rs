@@ -82,8 +82,17 @@ fn wake_access(cache: &mut CacheModel, core: CoreId, target: &TaskObjs) -> Acces
     acc
 }
 
+/// Softirq cost of recognizing a retransmitted SYN whose request socket
+/// already exists: hash lookup plus a SYN-ACK retransmit, no allocation.
+pub const SYN_DUP_COST: Cycles = 2_000;
+
 /// SYN arrival (softirq): allocates a request socket, inserts it into the
 /// request hash table, and emits a SYN-ACK (the caller transmits it).
+///
+/// A retransmitted SYN (possible only under fault injection: a duplicated
+/// or reordered packet, or a client retry racing the original) finds the
+/// existing request socket and resends the SYN-ACK instead of inserting a
+/// second entry for the tuple, which would leak.
 pub fn syn(
     k: &mut Kernel,
     core: CoreId,
@@ -91,6 +100,9 @@ pub fn syn(
     tuple: FlowTuple,
     fine_locks: bool,
 ) -> (Cycles, ReqId) {
+    if let Some(existing) = k.reqs.lookup(&tuple) {
+        return (SYN_DUP_COST, existing);
+    }
     let mut tracked = Access::default();
     let (obj, cost) = k.slab.alloc(core, DataType::TcpRequestSock, &mut k.cache);
     tracked.add(cost);

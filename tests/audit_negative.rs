@@ -1,0 +1,159 @@
+//! Negative tests for the conservation audits: take one real, clean run,
+//! corrupt each audited counter in turn, and assert the audit catches it
+//! with the right violation. A law that cannot fail is not a law — these
+//! tests keep [`app::RunAudit::violations`] honest as counters are added.
+
+use std::sync::OnceLock;
+
+use affinity_accept_repro::prelude::*;
+use app::RunAudit;
+use sim::time::ms;
+
+/// One clean audit from a real run, shared across tests (runs are the
+/// expensive part; corruption is cheap).
+fn clean_audit() -> &'static RunAudit {
+    static AUDIT: OnceLock<RunAudit> = OnceLock::new();
+    AUDIT.get_or_init(|| {
+        let mut cfg = RunConfig::new(
+            Machine::amd48(),
+            4,
+            ListenKind::Affinity,
+            ServerKind::apache(),
+            Workload::base(),
+            8_000.0,
+        );
+        cfg.warmup = ms(150);
+        cfg.measure = ms(150);
+        cfg.tracked_files = 200;
+        let r = Runner::new(cfg).run();
+        assert!(
+            r.audit.is_ok(),
+            "baseline run dirty: {:?}",
+            r.audit.violations()
+        );
+        // The corruptions below perturb counters by +1; a degenerate
+        // all-zero audit would let some laws hold by accident.
+        assert!(r.audit.client.started > 0 && r.audit.packets.offered > 0);
+        r.audit
+    })
+}
+
+/// Applies `corrupt` to a clean audit and asserts the audit now fails
+/// with a violation mentioning `expect`.
+fn assert_caught(corrupt: impl FnOnce(&mut RunAudit), expect: &str) {
+    let mut a = clean_audit().clone();
+    corrupt(&mut a);
+    let v = a.violations();
+    assert!(
+        v.iter().any(|m| m.contains(expect)),
+        "corruption went uncaught: wanted a violation containing {expect:?}, got {v:?}"
+    );
+}
+
+#[test]
+fn client_counters_are_audited() {
+    assert_caught(|a| a.client.started += 1, "client conservation");
+    assert_caught(|a| a.client.completed += 1, "client conservation");
+    assert_caught(|a| a.client.timed_out += 1, "client conservation");
+    assert_caught(|a| a.client.live += 1, "client conservation");
+    // retry_capped feeds two laws: the client lifecycle sum and the
+    // cross-check against the fault plane's own give-up counter.
+    assert_caught(|a| a.client.retry_capped += 1, "client conservation");
+    assert_caught(|a| a.client.retry_capped += 1, "retry-cap accounting");
+}
+
+#[test]
+fn listen_counters_are_audited() {
+    assert_caught(|a| a.listen.enqueued += 1, "listen conservation");
+    assert_caught(|a| a.listen.accepts_local += 1, "listen conservation");
+    assert_caught(|a| a.listen.accepts_stolen += 1, "listen conservation");
+    assert_caught(|a| a.listen.queued_residual += 1, "listen conservation");
+    assert_caught(|a| a.listen.runner_accepts += 1, "accept accounting");
+}
+
+#[test]
+fn kernel_counters_are_audited() {
+    assert_caught(|a| a.kernel.created += 1, "kernel conn conservation");
+    assert_caught(|a| a.kernel.removed += 1, "kernel conn conservation");
+    assert_caught(
+        |a| a.kernel.live = a.kernel.est_len.wrapping_sub(1),
+        "kernel",
+    );
+    assert_caught(|a| a.kernel.est_len = a.kernel.live + 1, "est table");
+    // created is also cross-checked against the listen socket's enqueues,
+    // so bumping both sides of the kernel law still trips a wire.
+    assert_caught(
+        |a| {
+            a.kernel.created += 1;
+            a.kernel.live += 1;
+        },
+        "handshake accounting",
+    );
+}
+
+#[test]
+fn packet_counters_are_audited() {
+    assert_caught(|a| a.packets.offered += 1, "NIC RX conservation");
+    assert_caught(|a| a.packets.drops_ring_full += 1, "NIC RX conservation");
+    assert_caught(|a| a.packets.drops_flush += 1, "NIC RX conservation");
+    assert_caught(|a| a.packets.residual += 1, "ring conservation");
+    assert_caught(|a| a.packets.dispatched += 1, "softirq accounting");
+    // enqueued feeds both the NIC-RX and the ring law.
+    assert_caught(|a| a.packets.enqueued += 1, "NIC RX conservation");
+    assert_caught(|a| a.packets.enqueued += 1, "ring conservation");
+    // dequeued feeds both the ring and the softirq law.
+    assert_caught(|a| a.packets.dequeued += 1, "ring conservation");
+    assert_caught(|a| a.packets.dequeued += 1, "softirq accounting");
+}
+
+#[test]
+fn per_ring_counters_are_audited() {
+    assert!(!clean_audit().packets.rings.is_empty(), "no rings audited");
+    assert_caught(|a| a.packets.rings[0].enqueued += 1, "ring 0 conservation");
+    assert_caught(|a| a.packets.rings[0].dequeued += 1, "ring 0 conservation");
+    assert_caught(|a| a.packets.rings[0].residual += 1, "ring 0 conservation");
+    let last = clean_audit().packets.rings.len() - 1;
+    assert_caught(
+        move |a| a.packets.rings[last].enqueued += 1,
+        &format!("ring {last} conservation"),
+    );
+}
+
+#[test]
+fn cycle_counters_are_audited() {
+    assert_caught(
+        |a| a.cycles.busy_window = a.cycles.cores * a.cycles.window + 1,
+        "exceeds capacity",
+    );
+    assert_caught(
+        |a| a.cycles.busy_max_core = a.cycles.span + app::audit::BUSY_OVERHANG_ALLOWANCE + 1,
+        "overhang allowance",
+    );
+    // Shrinking the claimed window capacity must also trip the law.
+    assert_caught(|a| a.cycles.window = 0, "exceeds capacity");
+}
+
+#[test]
+fn request_counters_are_audited() {
+    assert_caught(|a| a.served += 1, "request accounting");
+    assert_caught(|a| a.perf_requests += 1, "request accounting");
+}
+
+#[test]
+fn fault_counters_are_audited() {
+    // The baseline run has no fault plan, so any nonzero fault counter
+    // means the fault plane fired while disabled.
+    assert!(!clean_audit().fault_active);
+    assert_caught(|a| a.fault.dropped += 1, "disabled plan");
+    assert_caught(|a| a.fault.duplicated += 1, "disabled plan");
+    assert_caught(|a| a.fault.reordered += 1, "disabled plan");
+    assert_caught(|a| a.fault.syn_backlog_drops += 1, "disabled plan");
+    assert_caught(|a| a.fault.retrans_sent += 1, "disabled plan");
+    assert_caught(|a| a.fault.stalls_run += 1, "disabled plan");
+    assert_caught(|a| a.fault.retry_capped += 1, "retry-cap accounting");
+    // An active plan that injected nothing is legal (probabilities can
+    // simply never fire) — flipping the flag alone must NOT violate.
+    let mut a = clean_audit().clone();
+    a.fault_active = true;
+    assert!(a.is_ok(), "{:?}", a.violations());
+}

@@ -22,7 +22,7 @@ fn quick(listen: ListenKind, cores: usize, rate: f64) -> RunConfig {
 
 #[test]
 fn identical_configs_produce_identical_fingerprints() {
-    for listen in [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity] {
+    for listen in ListenKind::ALL {
         let a = Runner::new(quick(listen, 8, 6_000.0)).run();
         let b = Runner::new(quick(listen, 8, 6_000.0)).run();
         assert_ne!(a.fingerprint, 0, "{listen:?}: fingerprint must be folded");
@@ -73,7 +73,7 @@ fn conservation_audits_hold_across_kinds_and_loads() {
     // Light load, saturating load, and heavy-overload for each listen
     // kind: the conservation laws must hold everywhere, including when
     // drops and timeouts are nonzero.
-    for listen in [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity] {
+    for listen in ListenKind::ALL {
         for (cores, rate) in [(2, 1_000.0), (4, 12_000.0), (2, 80_000.0)] {
             let r = Runner::new(quick(listen, cores, rate)).run();
             let v = r.audit.violations();
@@ -102,10 +102,15 @@ fn audit_counters_are_self_consistent_with_results() {
 /// wheel (and every hot-path change since) must reproduce the heap's event
 /// stream bit-for-bit; if one of these values ever changes, scheduling
 /// order changed and every recorded experiment is invalidated.
-const GOLDEN: [(ListenKind, u64, u64); 3] = [
+/// The Twenty and BusyPoll entries were captured when those kinds became
+/// first-class (they are younger than the heap scheduler); they pin the
+/// same property from their birth revision onward.
+const GOLDEN: [(ListenKind, u64, u64); 5] = [
     (ListenKind::Stock, 0x6b30b1fe5417a104, 7262),
     (ListenKind::Fine, 0xcac2e2fd90382a59, 7262),
     (ListenKind::Affinity, 0x5fc6bb89978ee39c, 7266),
+    (ListenKind::Twenty, 0x3832bc3dab6a43a7, 7271),
+    (ListenKind::BusyPoll, 0x41ddb9fb3487a26e, 7271),
 ];
 
 #[test]
@@ -129,7 +134,7 @@ fn golden_fingerprints_match_heap_scheduler_seed() {
 #[test]
 fn wheel_and_heap_backends_replay_identically() {
     use sim::events::Backend;
-    for listen in [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity] {
+    for listen in ListenKind::ALL {
         let mut heap_cfg = quick(listen, 8, 6_000.0);
         heap_cfg.evq = Backend::Heap;
         let mut wheel_cfg = quick(listen, 8, 6_000.0);
