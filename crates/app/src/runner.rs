@@ -33,12 +33,13 @@ use sim::events::Backend;
 use sim::fastmap::FastMap;
 use sim::fault::{FaultPlan, FaultStats};
 use sim::fingerprint::Fingerprint;
+use sim::overload::{HotplugEvent, OverloadConfig, OverloadStats};
 use sim::rng::SimRng;
 use sim::time::{ms, us, Cycles, CYCLES_PER_SEC};
 use sim::topology::{CoreId, Machine};
 use sim::EventQueue;
 use std::cell::RefCell;
-use tcp::{ops, ConnId, ConnState, Kernel};
+use tcp::{ops, ConnId, ConnState, Kernel, ReqId};
 
 /// One-way client↔server propagation delay (LAN).
 pub const PROP_DELAY: Cycles = us(40);
@@ -74,6 +75,16 @@ const FOLD_FAULT_DROP: u64 = 16;
 const FOLD_FAULT_DUP: u64 = 17;
 const FOLD_FAULT_REORDER: u64 = 18;
 const FOLD_FAULT_SYN_DROP: u64 = 19;
+
+// Overload-plane markers. The `Ev` variants `CoreDown`/`CoreUp`/
+// `Watchdog`/`ReqReap` fold as kinds 20..=23; these mark the plane's
+// *decisions* (a cookie issued, a queue re-homed) so two runs that differ
+// only in a defense taken still differ in fingerprint.
+const FOLD_COOKIE_ISSUE: u64 = 24;
+const FOLD_COOKIE_OK: u64 = 25;
+const FOLD_REAP: u64 = 26;
+const FOLD_REHOME: u64 = 27;
+const FOLD_SHED: u64 = 28;
 
 /// Salt for the dedicated fault-decision RNG stream: forked off the run
 /// seed by XOR (like the client fleet's stream) so fault draws never
@@ -175,6 +186,18 @@ pub struct RunConfig {
     /// no events and draws no randomness: fingerprints are bit-identical
     /// to a build without the fault plane.
     pub fault: FaultPlan,
+    /// Overload-control plane (SYN cookies, adaptive shedding, half-open
+    /// reaping, silent-core watchdog). The default
+    /// ([`OverloadConfig::none`]) is fingerprint-neutral like the fault
+    /// plane: no events, no RNG draws, bit-identical goldens.
+    pub overload: OverloadConfig,
+    /// Explicit core-hotplug schedule (each event's core is taken modulo
+    /// the active core count). Empty by default.
+    pub hotplug: Vec<HotplugEvent>,
+    /// Bucket width for [`RunResult::timeline`]; 0 (the default) disables
+    /// collection. Pure accounting — no events and no RNG draws, so
+    /// enabling it never perturbs fingerprints.
+    pub timeline_bucket: Cycles,
 }
 
 impl RunConfig {
@@ -212,6 +235,9 @@ impl RunConfig {
             tracked_files: 2_000,
             evq: Backend::Wheel,
             fault: FaultPlan::none(),
+            overload: OverloadConfig::none(),
+            hotplug: Vec::new(),
+            timeline_bucket: 0,
         }
     }
 }
@@ -261,6 +287,20 @@ pub struct RunResult {
     pub audit: RunAudit,
     /// Faults actually injected (all zero when the plan is disabled).
     pub fault: FaultStats,
+    /// Overload-plane actions taken (all zero when the plane is disabled
+    /// and no hotplug schedule exists).
+    pub overload: OverloadStats,
+    /// Served requests per [`RunConfig::timeline_bucket`]-wide bucket over
+    /// the whole run (warmup included); empty when collection is off. The
+    /// `recovery` harness reads goodput dips and time-to-recover off this.
+    pub timeline: Vec<u64>,
+    /// Whole-run client-abandoned connections that were established and
+    /// owned by a live core when abandoned — the kill-one-core recovery
+    /// gate requires this to stay zero.
+    pub timeouts_live_owner: u64,
+    /// Whole-run client-abandoned established connections owned by a down
+    /// core (expected casualties of a kill).
+    pub timeouts_dead_owner: u64,
     /// The kernel, for DProf and further inspection.
     pub kernel: Kernel,
 }
@@ -309,6 +349,16 @@ enum Ev {
     CoreStall(u32),
     /// Busy-poll tick of core's acceptor ([`ListenKind::BusyPoll`]).
     PollAccept(u16),
+    /// Hotplug: take a core offline (explicit schedule).
+    CoreDown(u16),
+    /// Hotplug: bring a core back online.
+    CoreUp(u16),
+    /// Periodic silent-core watchdog scan.
+    Watchdog,
+    /// Half-open request TTL timer: `(request id, attempt, SYN core)`.
+    /// The core rides along because the timer runs in softirq context on
+    /// the core that processed the SYN (or its re-home target).
+    ReqReap(u32, u16, u16),
 }
 
 const _: () = assert!(
@@ -366,10 +416,37 @@ pub struct Runner {
     /// with fault-free builds.
     fault_rng: SimRng,
     fstats: FaultStats,
+    /// Overload-plane action counters (audited at end of run).
+    ostats: OverloadStats,
+    /// Outstanding SYN cookies by flow tuple (value: issue time). Entries
+    /// leave on validation, on supersession by a normal handshake, or
+    /// into `cookies_expired` at end of run.
+    cookie_pending: FastMap<nic::FlowTuple, Cycles>,
+    /// Per-core adaptive-shedding state (true = answering SYNs with
+    /// cookies until the queue drains below the low watermark).
+    shed: Vec<bool>,
+    /// Per-core backlog cap the shedding watermarks scale against.
+    shed_cap: f64,
+    /// Per-core offline flag (explicit hotplug or watchdog).
+    core_down: Vec<bool>,
+    /// Whether the watchdog (not the schedule) took the core down; only
+    /// those cores are revived automatically when their stall clears.
+    watchdog_marked: Vec<bool>,
+    /// Ring-core → executing-core redirection (identity while every core
+    /// is up). A dead core's ring keeps receiving already-steered
+    /// packets; its softirq work runs on the redirect target so
+    /// established connections keep being served.
+    redirect: Vec<u16>,
     measuring: bool,
     end_at: Cycles,
     served: u64,
     affinity_served: u64,
+    /// Whole-run served counts per `cfg.timeline_bucket` (empty when off).
+    timeline: Vec<u64>,
+    /// Established connections abandoned by the client, split by whether
+    /// their owning core was live or down at that moment.
+    timeouts_live_owner: u64,
+    timeouts_dead_owner: u64,
     fingerprint: Fingerprint,
     /// Events dispatched by the run loop (the wallclock bench's
     /// events/sec numerator).
@@ -479,6 +556,13 @@ impl Runner {
         });
 
         let twenty = twenty_mode.then(TwentyPolicy::new);
+        // The queue the shedding watermarks scale against: the global
+        // backlog for the single-queue kinds, the per-core split for the
+        // rest (mirrors `ListenSocket::backlogged`).
+        let shed_cap = match cfg.listen {
+            ListenKind::Stock | ListenKind::Twenty => cfg.max_backlog,
+            _ => (cfg.max_backlog / cfg.cores.max(1)).max(1),
+        } as f64;
         let arrival_interval_mean = CYCLES_PER_SEC as f64 / cfg.conn_rate.max(1e-9);
         let end_at = cfg.warmup + cfg.measure;
         let n_rings = nic.n_rings();
@@ -502,6 +586,13 @@ impl Runner {
             rng: SimRng::new(cfg.seed),
             fault_rng: SimRng::new(cfg.seed ^ FAULT_RNG_SALT),
             fstats: FaultStats::default(),
+            ostats: OverloadStats::default(),
+            cookie_pending: FastMap::default(),
+            shed: vec![false; cfg.cores],
+            shed_cap,
+            core_down: vec![false; cfg.cores],
+            watchdog_marked: vec![false; cfg.cores],
+            redirect: (0..cfg.cores as u16).collect(),
             q,
             pkts,
             timers,
@@ -525,6 +616,9 @@ impl Runner {
             end_at,
             served: 0,
             affinity_served: 0,
+            timeline: Vec::new(),
+            timeouts_live_owner: 0,
+            timeouts_dead_owner: 0,
             fingerprint: Fingerprint::new(),
             events_executed: 0,
             dbg_on: std::env::var_os("RUNNER_DEBUG").is_some(),
@@ -563,6 +657,13 @@ impl Runner {
             for c in 0..r.cfg.cores {
                 r.q.push(BUSY_POLL_INTERVAL, Ev::PollAccept(c as u16));
             }
+        }
+        for h in r.cfg.hotplug.clone() {
+            let c = h.core % r.cfg.cores as u16;
+            r.q.push(h.at, if h.up { Ev::CoreUp(c) } else { Ev::CoreDown(c) });
+        }
+        if let Some(w) = r.cfg.overload.watchdog {
+            r.q.push(w.interval, Ev::Watchdog);
         }
         r
     }
@@ -692,6 +793,9 @@ impl Runner {
         let mut extra = 0;
         let mut woken = 0usize;
         'outer: for core in &buf {
+            if self.core_down[core.index()] {
+                continue;
+            }
             while let Some(tid) = self.sleep_acceptors[core.index()].pop() {
                 let t = &mut self.tasks[tid as usize];
                 t.sleeping = false;
@@ -714,6 +818,13 @@ impl Runner {
     }
 
     fn count_served(&mut self, conn: ConnId) {
+        if let Some(q) = self.now.checked_div(self.cfg.timeline_bucket) {
+            let b = q as usize;
+            if self.timeline.len() <= b {
+                self.timeline.resize(b + 1, 0);
+            }
+            self.timeline[b] += 1;
+        }
         if self.measuring {
             self.served += 1;
             self.k.requests_done += 1;
@@ -897,6 +1008,143 @@ impl Runner {
         }
     }
 
+    /// Narrows a request id for event storage (ids are sequential from 1,
+    /// like client connection ids; panic rather than alias on overflow).
+    fn ev_req(req: ReqId) -> u32 {
+        u32::try_from(req.0).expect("request id overflows event storage")
+    }
+
+    /// Whether the listen path uses per-bucket request-table locks (the
+    /// per-core kinds) rather than the single stock socket lock.
+    fn fine_locks(&self) -> bool {
+        !matches!(self.cfg.listen, ListenKind::Stock | ListenKind::Twenty)
+    }
+
+    /// Decides whether a SYN arriving on `core` is answered statelessly,
+    /// updating the per-core shedding hysteresis on the way: crossing the
+    /// high watermark switches the core into cookie mode, and it stays
+    /// there until the queue drains below the low watermark, so the mode
+    /// cannot flap on every packet. A saturated accept backlog or request
+    /// table forces cookies regardless of the hysteresis state.
+    fn cookie_mode(&mut self, core: CoreId) -> bool {
+        let i = core.index();
+        let q = self.listen.queued_on(core) as f64;
+        if !self.shed[i] && q >= self.cfg.overload.shed_high * self.shed_cap {
+            self.shed[i] = true;
+            self.ostats.shed_on += 1;
+            self.fingerprint
+                .fold_event(self.now, FOLD_SHED, (1 << 32) | u64::from(core.0));
+        } else if self.shed[i] && q <= self.cfg.overload.shed_low * self.shed_cap {
+            self.shed[i] = false;
+            self.ostats.shed_off += 1;
+            self.fingerprint
+                .fold_event(self.now, FOLD_SHED, u64::from(core.0));
+        }
+        let half_open_cap = self
+            .cfg
+            .overload
+            .half_open_cap
+            .unwrap_or(self.cfg.max_backlog);
+        self.shed[i] || self.listen.backlogged(core) || self.k.reqs.len() >= half_open_cap
+    }
+
+    /// Takes core `c` offline: re-homes its accept queue to the
+    /// least-loaded live core, steers its flow groups to that core's
+    /// ring, and redirects its softirq work there so established
+    /// connections owned elsewhere keep being served. Refuses to take
+    /// the last live core down.
+    fn core_offline(&mut self, c: u16, by_watchdog: bool) {
+        let i = usize::from(c);
+        if self.core_down[i] {
+            return;
+        }
+        // Deterministic target: least-loaded live core, ties by index.
+        let Some(target) = (0..self.cfg.cores)
+            .filter(|j| *j != i && !self.core_down[*j])
+            .min_by_key(|j| (self.cores.load(CoreId(*j as u16)), *j))
+        else {
+            return;
+        };
+        self.core_down[i] = true;
+        self.ostats.core_downs += 1;
+        if by_watchdog {
+            self.watchdog_marked[i] = true;
+            self.ostats.watchdog_marks += 1;
+        }
+        let from = CoreId(c);
+        let to = CoreId(target as u16);
+        let start = self.cores.start_time(to, self.now);
+        let (d, moved) = self.listen.rehome(&mut self.k, from, to, start);
+        let mut end = if d > 0 {
+            self.cores.run(to, start, d)
+        } else {
+            start
+        };
+        self.ostats.rehomed_conns += moved;
+        self.ostats.rehome_ops += 1;
+        self.fingerprint
+            .fold_event(self.now, FOLD_REHOME, u64::from(c) | moved << 16);
+        // Point the dead core's flow groups at the target's ring so new
+        // packets land there directly. Per-flow (Twenty) steering needs
+        // no rewrite: the redirect below covers its ring too.
+        if usize::from(c) < self.nic.n_rings() && target < self.nic.n_rings() {
+            if let Some(groups) = self.nic.steering.groups_mut() {
+                for g in groups.groups_of(RingId(c)) {
+                    let d = groups.migrate(g, RingId(to.0));
+                    end = self.cores.run(to, end, d);
+                }
+            }
+        }
+        // Re-point the dead core — and anything already redirected to it —
+        // at the target, so redirect chains always end at a live core.
+        for r in &mut self.redirect {
+            if *r == c {
+                *r = to.0;
+            }
+        }
+        // Anything re-homed must get served: wake the target's acceptors.
+        if moved > 0 {
+            let extra = self.wake_acceptors(to, to, end);
+            if extra > 0 {
+                self.cores.run(to, end, extra);
+            }
+        }
+    }
+
+    /// Brings core `c` back online: new work lands on it again (flow
+    /// groups migrated away stay put until the balancer moves them back),
+    /// and tasks that accumulated ready work while parked are rewoken.
+    fn core_online(&mut self, c: u16) {
+        let i = usize::from(c);
+        if !self.core_down[i] {
+            return;
+        }
+        self.core_down[i] = false;
+        self.watchdog_marked[i] = false;
+        self.redirect[i] = c;
+        self.ostats.core_ups += 1;
+        for tid in 0..self.tasks.len() as u32 {
+            let t = &self.tasks[tid as usize];
+            if t.core.index() != i || !t.sleeping || t.ready.is_empty() {
+                continue;
+            }
+            let t = &mut self.tasks[tid as usize];
+            t.sleeping = false;
+            t.just_woken = true;
+            self.sleep_acceptors[i].retain(|x| *x != tid);
+            self.dbg_sched[0] += 1;
+            let run_at = self.cores.start_time(CoreId(c), self.now);
+            self.schedule_task(tid, run_at);
+        }
+        if self.listen.queued_on(CoreId(c)) > 0 {
+            let start = self.cores.start_time(CoreId(c), self.now);
+            let extra = self.wake_acceptors(CoreId(c), CoreId(c), start);
+            if extra > 0 {
+                self.cores.run(CoreId(c), start, extra);
+            }
+        }
+    }
+
     fn task_run(&mut self, tid: u32) {
         self.dbg_taskruns[match self.tasks[tid as usize].role {
             TaskRole::Acceptor => 0,
@@ -905,6 +1153,17 @@ impl Runner {
         }] += 1;
         self.tasks[tid as usize].queued = false;
         let core = self.tasks[tid as usize].core;
+        if self.core_down[core.index()] {
+            // The core is offline: park the task. Hotplug-up (or a wake
+            // for new data, once the core is back) reschedules it.
+            let role = self.tasks[tid as usize].role;
+            let t = &mut self.tasks[tid as usize];
+            t.sleeping = true;
+            if role != TaskRole::Worker && !self.sleep_acceptors[core.index()].contains(&tid) {
+                self.sleep_acceptors[core.index()].push(tid);
+            }
+            return;
+        }
         let role = self.tasks[tid as usize].role;
         let objs = self.tasks[tid as usize].objs;
         // Context switch into the task (only on a sleep→run transition;
@@ -1009,6 +1268,21 @@ impl Runner {
                     // ignores it rather than double-inserting the tuple.
                     return ops::SYN_DUP_COST;
                 }
+                if self.cfg.overload.syn_cookies && self.cookie_mode(core) {
+                    // Stateless answer: no request sock is allocated; the
+                    // cookie is validated when (if) the completing ACK
+                    // comes back.
+                    let d = ops::cookie_synack(&mut self.k, core, start, pkt.tuple);
+                    if self.cookie_pending.insert(pkt.tuple, self.now).is_some() {
+                        // A retransmitted SYN supersedes its predecessor.
+                        self.ostats.cookies_expired += 1;
+                    }
+                    self.ostats.cookies_issued += 1;
+                    self.fingerprint
+                        .fold_event(self.now, FOLD_COOKIE_ISSUE, pkt.tuple.hash());
+                    self.tx_control(start + d, pkt.tuple, PacketKind::SynAck);
+                    return d;
+                }
                 if self.cfg.fault.syn_overflow_drop && self.listen.backlogged(core) {
                     // Accept backlog full: drop the SYN instead of
                     // allocating a request socket for a handshake that
@@ -1019,13 +1293,62 @@ impl Runner {
                         .fold_event(self.now, FOLD_FAULT_SYN_DROP, pkt.tuple.hash());
                     return ops::SYN_DUP_COST;
                 }
+                let fresh =
+                    self.cfg.overload.reap.is_some() && self.k.reqs.lookup(&pkt.tuple).is_none();
                 let d = self.listen.on_syn(&mut self.k, core, start, pkt.tuple);
+                if fresh {
+                    // Arm the half-open TTL for the request this SYN
+                    // created (a duplicate SYN keeps its existing timer).
+                    if let Some(rp) = self.cfg.overload.reap {
+                        if let Some(req) = self.k.reqs.lookup(&pkt.tuple) {
+                            self.q.push(
+                                self.now + rp.backoff(1),
+                                Ev::ReqReap(Self::ev_req(req), 1, core.0),
+                            );
+                        }
+                    }
+                }
                 self.tx_control(start + d, pkt.tuple, PacketKind::SynAck);
                 d
             }
             PacketKind::Ack => {
+                if self.cfg.overload.syn_cookies
+                    && self.cookie_pending.contains_key(&pkt.tuple)
+                    && self.k.reqs.lookup(&pkt.tuple).is_none()
+                {
+                    // The completing ACK of a stateless handshake: the
+                    // cookie validates and the connection is rebuilt at
+                    // ACK time (Linux's `cookie_v4_check` path), subject
+                    // to the same backlog caps as a normal handshake.
+                    self.cookie_pending.remove(&pkt.tuple);
+                    self.ostats.cookies_validated += 1;
+                    self.fingerprint
+                        .fold_event(self.now, FOLD_COOKIE_OK, pkt.tuple.hash());
+                    let (d, outcome) =
+                        self.listen
+                            .on_cookie_ack(&mut self.k, core, start, pkt.tuple);
+                    return match outcome {
+                        AckOutcome::Enqueued { queue_core, .. } => {
+                            self.ostats.cookies_established += 1;
+                            let extra = self.wake_acceptors(queue_core, core, start + d);
+                            d + extra
+                        }
+                        AckOutcome::DroppedOverflow => {
+                            self.ostats.cookie_drops += 1;
+                            d
+                        }
+                    };
+                }
                 let (d, outcome) = self.listen.on_ack(&mut self.k, core, start, pkt.tuple);
                 if let AckOutcome::Enqueued { queue_core, .. } = outcome {
+                    // A normal handshake won; any cookie still outstanding
+                    // for the tuple (issued for a retransmitted SYN that
+                    // raced the mode switch) is dead.
+                    if self.cfg.overload.syn_cookies
+                        && self.cookie_pending.remove(&pkt.tuple).is_some()
+                    {
+                        self.ostats.cookies_expired += 1;
+                    }
                     let extra = self.wake_acceptors(queue_core, core, start + d);
                     d + extra
                 } else {
@@ -1079,7 +1402,10 @@ impl Runner {
     }
 
     fn softirq(&mut self, ring: u16) {
-        let core = self.nic.ring_core(RingId(ring));
+        // A dead ring-core's softirq work runs on its redirect target
+        // (identity while every core is up), so packets already steered
+        // to the ring — established connections included — still flow.
+        let core = CoreId(self.redirect[self.nic.ring_core(RingId(ring)).index()]);
         let mut budget = SOFTIRQ_BUDGET;
         while budget > 0 {
             let start = self.cores.start_time(core, self.now);
@@ -1133,6 +1459,13 @@ impl Runner {
             Ev::SynRetrans(cid, attempt) => (12, u64::from(*cid) ^ u64::from(*attempt) << 48),
             Ev::CoreStall(i) => (13, u64::from(*i)),
             Ev::PollAccept(core) => (14, u64::from(*core)),
+            Ev::CoreDown(core) => (20, u64::from(*core)),
+            Ev::CoreUp(core) => (21, u64::from(*core)),
+            Ev::Watchdog => (22, 0),
+            Ev::ReqReap(rid, attempt, core) => (
+                23,
+                u64::from(*rid) ^ u64::from(*attempt) << 48 ^ u64::from(*core) << 32,
+            ),
         };
         self.fingerprint.fold_event(t, kind, payload);
     }
@@ -1186,6 +1519,17 @@ impl Runner {
                 if self.timers.is_current(cid, gen) {
                     self.timers.cancel(cid);
                     if let Some(fin) = self.clients.on_timeout(self.now, cid) {
+                        // Attribute the loss: an established connection
+                        // owned by a live core must never be abandoned
+                        // (the kill-one-core recovery gate); dead-core
+                        // casualties are expected.
+                        if let Some(conn) = self.k.est.lookup(&fin.tuple) {
+                            if self.core_down[self.k.conn(conn).rx_core.index()] {
+                                self.timeouts_dead_owner += 1;
+                            } else {
+                                self.timeouts_live_owner += 1;
+                            }
+                        }
                         self.send_to_server(fin, self.now + PROP_DELAY);
                     }
                 }
@@ -1341,6 +1685,15 @@ impl Runner {
             }
             Ev::PollAccept(core_idx) => {
                 let core = CoreId(core_idx);
+                if self.core_down[core.index()] {
+                    // Offline: skip the probe but keep the poll chain
+                    // alive so polling resumes when the core returns.
+                    if self.now < self.end_at {
+                        self.q
+                            .push(self.now + BUSY_POLL_INTERVAL, Ev::PollAccept(core_idx));
+                    }
+                    return;
+                }
                 // Busy-polling acceptor: probe the local queue instead of
                 // waiting for the enqueue-side wakeup. A hit wakes the
                 // core's sleeping acceptor; a miss just burns the probe.
@@ -1359,6 +1712,67 @@ impl Runner {
                 if self.now < self.end_at {
                     self.q
                         .push(self.now + BUSY_POLL_INTERVAL, Ev::PollAccept(core_idx));
+                }
+            }
+            Ev::CoreDown(c) => self.core_offline(c, false),
+            Ev::CoreUp(c) => self.core_online(c),
+            Ev::Watchdog => {
+                let Some(w) = self.cfg.overload.watchdog else {
+                    return;
+                };
+                for c in 0..self.cfg.cores as u16 {
+                    let i = usize::from(c);
+                    if !self.core_down[i] {
+                        // A core whose busy horizon runs this far past the
+                        // present has stopped making timely progress (a
+                        // stall window froze it): declare it dead.
+                        if self.cores.core(CoreId(c)).busy_until > self.now + w.dead_after {
+                            self.core_offline(c, true);
+                        }
+                    } else if self.watchdog_marked[i]
+                        && self.cores.core(CoreId(c)).busy_until <= self.now
+                    {
+                        // The stall cleared: revive the core. Explicitly
+                        // scheduled downs wait for their CoreUp event.
+                        self.core_online(c);
+                    }
+                }
+                if self.now < self.end_at {
+                    self.q.push(self.now + w.interval, Ev::Watchdog);
+                }
+            }
+            Ev::ReqReap(rid, attempt, core_idx) => {
+                let Some(rp) = self.cfg.overload.reap else {
+                    return;
+                };
+                let req = ReqId(u64::from(rid));
+                if self.k.reqs.get(req).is_none() {
+                    // The handshake (or an overflow drop) consumed the
+                    // request before its TTL: the timer dies in place.
+                    return;
+                }
+                // Timer context on the SYN core (or its re-home target).
+                let core = CoreId(self.redirect[usize::from(core_idx)]);
+                let start = self.cores.start_time(core, self.now);
+                if u32::from(attempt) <= rp.synack_retries {
+                    if let Some(d) = ops::synack_retransmit(&mut self.k, core, req) {
+                        self.cores.run(core, start, d);
+                        self.ostats.synack_retrans += 1;
+                        let tuple = self.k.reqs.get(req).expect("checked above").tuple;
+                        self.tx_control(start + d, tuple, PacketKind::SynAck);
+                    }
+                    self.q.push(
+                        self.now + rp.backoff(u32::from(attempt) + 1),
+                        Ev::ReqReap(rid, attempt + 1, core_idx),
+                    );
+                } else if let Some(d) = {
+                    let fine = self.fine_locks();
+                    ops::reap_request(&mut self.k, core, start, req, fine)
+                } {
+                    self.cores.run(core, start, d);
+                    self.ostats.reaped += 1;
+                    self.fingerprint
+                        .fold_event(self.now, FOLD_REAP, u64::from(rid));
                 }
             }
         }
@@ -1479,6 +1893,9 @@ impl Runner {
                 dropped: r.dropped,
             })
             .collect();
+        // Cookies still outstanding (or superseded and never replaced by
+        // an ACK) at run end count as expired, closing the cookie law.
+        self.ostats.cookies_expired += self.cookie_pending.len() as u64;
         let busy_of = |c: usize| self.cores.core(CoreId(c as u16)).busy_cycles;
         let audit = RunAudit {
             client: ClientAudit {
@@ -1525,6 +1942,10 @@ impl Runner {
             events_pending: self.q.len() as u64,
             fault: self.fstats,
             fault_active: self.cfg.fault.is_active(),
+            overload: self.ostats,
+            overload_active: self.cfg.overload.is_active() || !self.cfg.hotplug.is_empty(),
+            reqs_created: self.k.reqs.created(),
+            reqs_residual: self.k.reqs.len() as u64,
         };
 
         // Recycle the queue, slab and timer table (reset, capacity kept)
@@ -1567,6 +1988,10 @@ impl Runner {
             events_executed: self.events_executed,
             audit,
             fault: self.fstats,
+            overload: self.ostats,
+            timeline: self.timeline,
+            timeouts_live_owner: self.timeouts_live_owner,
+            timeouts_dead_owner: self.timeouts_dead_owner,
             kernel: self.k,
         }
     }
@@ -1668,5 +2093,153 @@ mod tests {
             r.drops_overflow + r.drops_nic > 0,
             "expected drops under overload"
         );
+    }
+
+    #[test]
+    fn disabled_overload_plane_is_fingerprint_neutral() {
+        // The config carries the new fields; leaving them at their
+        // defaults must not move a single bit of the fingerprint.
+        let base = Runner::new(quick_cfg(ListenKind::Affinity, 2, 1_000.0)).run();
+        let mut cfg = quick_cfg(ListenKind::Affinity, 2, 1_000.0);
+        cfg.overload = sim::overload::OverloadConfig::none();
+        cfg.hotplug = Vec::new();
+        let r = Runner::new(cfg).run();
+        assert_eq!(base.fingerprint, r.fingerprint);
+        assert!(r.overload.is_zero(), "{:?}", r.overload);
+        assert!(r.audit.is_ok(), "{:?}", r.audit.violations());
+    }
+
+    #[test]
+    fn syn_cookies_keep_accepting_under_flood() {
+        for kind in [ListenKind::Stock, ListenKind::Affinity] {
+            let mut cfg = quick_cfg(kind, 2, 150_000.0);
+            cfg.overload.syn_cookies = true;
+            cfg.overload.reap = Some(sim::overload::ReapPolicy::default_policy());
+            let r = Runner::new(cfg).run();
+            assert!(r.served > 0, "{kind:?} starved under flood");
+            assert!(
+                r.overload.cookies_issued > 0,
+                "{kind:?} never engaged cookies: {:?}",
+                r.overload
+            );
+            assert!(
+                r.audit.is_ok(),
+                "{kind:?} audit: {:?}",
+                r.audit.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn shedding_hysteresis_switches_on_and_off() {
+        let mut cfg = quick_cfg(ListenKind::Affinity, 2, 150_000.0);
+        cfg.overload.syn_cookies = true;
+        let r = Runner::new(cfg).run();
+        assert!(r.overload.shed_on > 0, "{:?}", r.overload);
+        assert!(
+            r.overload.shed_on >= r.overload.shed_off,
+            "more off- than on-transitions: {:?}",
+            r.overload
+        );
+        assert!(r.audit.is_ok(), "{:?}", r.audit.violations());
+    }
+
+    #[test]
+    fn half_open_requests_are_reaped() {
+        // Drop a third of client→server packets: lost ACKs strand
+        // half-open requests that only the reaper can reclaim.
+        let mut cfg = quick_cfg(ListenKind::Affinity, 4, 2_000.0);
+        cfg.fault.drop_p = 0.3;
+        cfg.fault.retrans = Some(sim::fault::RetransPolicy::default_policy());
+        cfg.overload.reap = Some(sim::overload::ReapPolicy {
+            ttl: ms(5),
+            synack_retries: 1,
+        });
+        let r = Runner::new(cfg).run();
+        assert!(
+            r.overload.reaped > 0,
+            "nothing reaped: {:?} fault {:?}",
+            r.overload,
+            r.fault
+        );
+        assert!(r.overload.synack_retrans > 0);
+        assert!(r.audit.is_ok(), "{:?}", r.audit.violations());
+    }
+
+    #[test]
+    fn killed_core_rehomes_and_recovers() {
+        for kind in [ListenKind::Affinity, ListenKind::Fine, ListenKind::Stock] {
+            let mut cfg = quick_cfg(kind, 4, 2_000.0);
+            cfg.hotplug = vec![
+                sim::overload::HotplugEvent {
+                    core: 1,
+                    at: ms(70),
+                    up: false,
+                },
+                sim::overload::HotplugEvent {
+                    core: 1,
+                    at: ms(130),
+                    up: true,
+                },
+            ];
+            let r = Runner::new(cfg).run();
+            assert_eq!(r.overload.core_downs, 1, "{kind:?}");
+            assert_eq!(r.overload.core_ups, 1, "{kind:?}");
+            assert_eq!(r.overload.rehome_ops, 1, "{kind:?}");
+            assert!(r.served > 0, "{kind:?} stopped serving");
+            assert!(
+                r.audit.is_ok(),
+                "{kind:?} audit: {:?}",
+                r.audit.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_declares_and_revives_a_stalled_core() {
+        let mut cfg = quick_cfg(ListenKind::Affinity, 4, 2_000.0);
+        // Freeze core 2 for 40 ms starting mid-warmup: the watchdog
+        // (10 ms scans, 20 ms horizon) must declare it dead, re-home its
+        // queue, and revive it once the stall clears.
+        cfg.fault.stalls = vec![sim::fault::StallWindow {
+            core: 2,
+            at: ms(30),
+            dur: ms(40),
+        }];
+        cfg.overload.watchdog = Some(sim::overload::WatchdogPolicy {
+            interval: ms(10),
+            dead_after: ms(20),
+        });
+        let r = Runner::new(cfg).run();
+        assert!(r.overload.watchdog_marks >= 1, "{:?}", r.overload);
+        assert!(r.overload.core_downs >= 1);
+        assert!(
+            r.overload.core_ups >= 1,
+            "stalled core never revived: {:?}",
+            r.overload
+        );
+        assert!(r.audit.is_ok(), "{:?}", r.audit.violations());
+    }
+
+    #[test]
+    fn hotplug_kill_retains_goodput() {
+        // The recovery gate in miniature: killing one of four cores
+        // mid-window must retain well over half of baseline goodput for
+        // the per-core kinds (the target inherits the dead core's queue).
+        let base = Runner::new(quick_cfg(ListenKind::Affinity, 4, 4_000.0)).run();
+        let mut cfg = quick_cfg(ListenKind::Affinity, 4, 4_000.0);
+        cfg.hotplug = vec![sim::overload::HotplugEvent {
+            core: 3,
+            at: ms(70),
+            up: false,
+        }];
+        let r = Runner::new(cfg).run();
+        assert!(
+            r.served as f64 >= 0.5 * base.served as f64,
+            "kill lost too much goodput: {} vs baseline {}",
+            r.served,
+            base.served
+        );
+        assert!(r.audit.is_ok(), "{:?}", r.audit.violations());
     }
 }

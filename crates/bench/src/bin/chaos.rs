@@ -4,15 +4,16 @@
 //! conservative, `chaos` establishes the same under adversity. Three
 //! passes:
 //!
-//! 1. **Fuzz + replay**: randomized `(config, FaultPlan)` pairs across
-//!    all five [`ListenKind`]s, each run twice. Both runs must produce
-//!    bit-identical fingerprints and equal audits (the fault schedule is
-//!    part of the audit, so replay equality covers the faults actually
-//!    injected), and every conservation audit must hold — in particular
-//!    the client lifecycle law: every connection ever opened completed,
-//!    timed out, hit the SYN-retry cap, or is still live. Any failure is
-//!    shrunk (config *and* plan knobs) to a minimal repro, like
-//!    `simcheck`.
+//! 1. **Fuzz + replay**: randomized `(config, FaultPlan, OverloadConfig,
+//!    hotplug schedule)` tuples across all five [`ListenKind`]s, each run
+//!    twice. Both runs must produce bit-identical fingerprints and equal
+//!    audits (the fault schedule is part of the audit, so replay equality
+//!    covers the faults actually injected), and every conservation audit
+//!    must hold — in particular the client lifecycle law: every
+//!    connection ever opened completed, timed out, hit the SYN-retry
+//!    cap, or is still live. Any failure is shrunk (config, plan,
+//!    overload, and hotplug knobs — including individual stall windows)
+//!    to a minimal repro, like `simcheck`.
 //! 2. **Ordering**: at saturating load with moderate packet loss,
 //!    SYN-overflow drops, and client retransmission, the paper's ranking
 //!    `Affinity >= Fine >= Stock` must survive (with a small slack for
@@ -29,6 +30,7 @@
 use app::{ListenKind, RunConfig, RunResult, Runner, ServerKind, Workload};
 use metrics::json::Json;
 use sim::fault::{FaultPlan, RetransPolicy, StallWindow};
+use sim::overload::{HotplugEvent, OverloadConfig, ReapPolicy, WatchdogPolicy};
 use sim::rng::SimRng;
 use sim::time::{ms, us};
 use sim::topology::Machine;
@@ -133,8 +135,9 @@ fn quick_config(
 
 fn label(cfg: &RunConfig) -> String {
     let p = &cfg.fault;
+    let o = &cfg.overload;
     format!(
-        "{} {} {} cores={} rate={:.0} seed={} | drop={} dup={} reorder={} mask={:#x} syn_of={} retrans={} stalls={}",
+        "{} {} {} cores={} rate={:.0} seed={} | drop={} dup={} reorder={} mask={:#x} syn_of={} retrans={} stalls={} | cookies={} reap={} wd={} hotplug={}",
         cfg.machine.name,
         cfg.listen.label(),
         cfg.server.label(),
@@ -147,7 +150,11 @@ fn label(cfg: &RunConfig) -> String {
         p.ring_mask,
         p.syn_overflow_drop,
         p.retrans.is_some(),
-        p.stalls.len()
+        p.stalls.len(),
+        o.syn_cookies,
+        o.reap.is_some(),
+        o.watchdog.is_some(),
+        cfg.hotplug.len()
     )
 }
 
@@ -191,8 +198,62 @@ fn random_plan(rng: &mut SimRng, cores: usize) -> FaultPlan {
     p
 }
 
+/// Draws one randomized overload plane. Disabled ~40% of the time so the
+/// neutral path (no cookie checks, no reap timers, no watchdog events)
+/// stays fuzzed against the fingerprint-neutrality guarantee.
+fn random_overload(rng: &mut SimRng) -> OverloadConfig {
+    let mut o = OverloadConfig::none();
+    if rng.chance(0.4) {
+        return o;
+    }
+    o.syn_cookies = rng.chance(0.6);
+    if rng.chance(0.5) {
+        o.reap = Some(ReapPolicy {
+            ttl: [ms(5), ms(20), ms(50)][rng.index(3)],
+            synack_retries: rng.range(0, 3) as u32,
+        });
+    }
+    if rng.chance(0.4) {
+        o.watchdog = Some(WatchdogPolicy {
+            interval: [ms(5), ms(10)][rng.index(2)],
+            dead_after: [ms(20), ms(50)][rng.index(2)],
+        });
+    }
+    if rng.chance(0.3) {
+        o.half_open_cap = Some(rng.range(8, 256) as usize);
+    }
+    o
+}
+
+/// Draws a random hotplug schedule: ~30% of multi-core cases get one or
+/// two core deaths, most followed by a revival, all inside the run
+/// window so both transitions actually dispatch.
+fn random_hotplug(rng: &mut SimRng, cores: usize) -> Vec<HotplugEvent> {
+    let mut h = Vec::new();
+    if cores < 2 || !rng.chance(0.3) {
+        return h;
+    }
+    for _ in 0..rng.range(1, 2) {
+        let core = rng.below(cores as u64) as u16;
+        let down_at = ms(10) + rng.below(ms(200));
+        h.push(HotplugEvent {
+            core,
+            at: down_at,
+            up: false,
+        });
+        if rng.chance(0.7) {
+            h.push(HotplugEvent {
+                core,
+                at: down_at + ms(rng.range(10, 120)),
+                up: true,
+            });
+        }
+    }
+    h
+}
+
 /// Draws one randomized configuration across all five listen kinds, then
-/// attaches a random fault plan.
+/// attaches a random fault plan, overload plane, and hotplug schedule.
 fn random_case(rng: &mut SimRng) -> RunConfig {
     let machine = if rng.chance(0.5) {
         Machine::amd48()
@@ -223,6 +284,8 @@ fn random_case(rng: &mut SimRng) -> RunConfig {
     cfg.steal_enabled = rng.chance(0.8);
     cfg.migrate_enabled = rng.chance(0.8);
     cfg.fault = random_plan(rng, cores);
+    cfg.overload = random_overload(rng);
+    cfg.hotplug = random_hotplug(rng, cores);
     cfg
 }
 
@@ -291,6 +354,38 @@ fn diverges(a: &RunResult, b: &RunResult) -> Option<String> {
             b.fault.retry_capped,
         ),
         ("fault.stalls_run", a.fault.stalls_run, b.fault.stalls_run),
+        (
+            "overload.cookies_issued",
+            a.overload.cookies_issued,
+            b.overload.cookies_issued,
+        ),
+        (
+            "overload.cookies_validated",
+            a.overload.cookies_validated,
+            b.overload.cookies_validated,
+        ),
+        ("overload.reaped", a.overload.reaped, b.overload.reaped),
+        (
+            "overload.synack_retrans",
+            a.overload.synack_retrans,
+            b.overload.synack_retrans,
+        ),
+        (
+            "overload.rehome_ops",
+            a.overload.rehome_ops,
+            b.overload.rehome_ops,
+        ),
+        (
+            "overload.core_downs",
+            a.overload.core_downs,
+            b.overload.core_downs,
+        ),
+        ("overload.shed_on", a.overload.shed_on, b.overload.shed_on),
+        (
+            "overload.watchdog_marks",
+            a.overload.watchdog_marks,
+            b.overload.watchdog_marks,
+        ),
     ];
     for (name, x, y) in pairs {
         if x != y {
@@ -403,10 +498,45 @@ fn shrink(mut cfg: RunConfig) -> RunConfig {
                 candidates.push(c);
             }
         }
-        if cfg.fault.stalls.len() > 1 {
+        // Individual stall windows: drop each one in turn, and halve the
+        // duration of any still-long window, so the surviving repro pins
+        // the exact window (and length) that matters.
+        for i in 0..cfg.fault.stalls.len() {
             let mut c = cfg.clone();
-            c.fault.stalls.truncate(cfg.fault.stalls.len() / 2);
+            c.fault.stalls.remove(i);
             candidates.push(c);
+        }
+        for (i, w) in cfg.fault.stalls.iter().enumerate() {
+            if w.dur > us(100) {
+                let mut c = cfg.clone();
+                c.fault.stalls[i].dur = w.dur / 2;
+                candidates.push(c);
+            }
+        }
+        // Overload-plane knobs, most drastic first.
+        for simplify in [
+            |o: &mut OverloadConfig| *o = OverloadConfig::none(),
+            |o: &mut OverloadConfig| o.syn_cookies = false,
+            |o: &mut OverloadConfig| o.reap = None,
+            |o: &mut OverloadConfig| o.watchdog = None,
+            |o: &mut OverloadConfig| o.half_open_cap = None,
+        ] {
+            let mut c = cfg.clone();
+            simplify(&mut c.overload);
+            if c.overload != cfg.overload {
+                candidates.push(c);
+            }
+        }
+        // Hotplug schedule: clear it, then drop one event at a time.
+        if !cfg.hotplug.is_empty() {
+            let mut c = cfg.clone();
+            c.hotplug.clear();
+            candidates.push(c);
+            for i in 0..cfg.hotplug.len() {
+                let mut c = cfg.clone();
+                c.hotplug.remove(i);
+                candidates.push(c);
+            }
         }
         if cfg.cores > 1 {
             let mut c = cfg.clone();
@@ -485,6 +615,31 @@ fn repro_test(cfg: &RunConfig, problems: &[String]) -> String {
         plan.push_str(&format!(
             "    cfg.fault.stalls.push(StallWindow {{ core: {}, at: {}, dur: {} }});\n",
             w.core, w.at, w.dur
+        ));
+    }
+    let o = &cfg.overload;
+    if o.syn_cookies {
+        plan.push_str("    cfg.overload.syn_cookies = true;\n");
+    }
+    if let Some(rp) = o.reap {
+        plan.push_str(&format!(
+            "    cfg.overload.reap = Some(ReapPolicy {{ ttl: {}, synack_retries: {} }});\n",
+            rp.ttl, rp.synack_retries
+        ));
+    }
+    if let Some(w) = o.watchdog {
+        plan.push_str(&format!(
+            "    cfg.overload.watchdog = Some(WatchdogPolicy {{ interval: {}, dead_after: {} }});\n",
+            w.interval, w.dead_after
+        ));
+    }
+    if let Some(cap) = o.half_open_cap {
+        plan.push_str(&format!("    cfg.overload.half_open_cap = Some({cap});\n"));
+    }
+    for h in &cfg.hotplug {
+        plan.push_str(&format!(
+            "    cfg.hotplug.push(HotplugEvent {{ core: {}, at: {}, up: {} }});\n",
+            h.core, h.at, h.up
         ));
     }
     let mut knobs = String::new();

@@ -1,0 +1,433 @@
+//! `recovery` — the self-healing and overload-defense harness.
+//!
+//! Two scenarios, each a table in EXPERIMENTS.md ("Recovery") and a gate
+//! this binary enforces:
+//!
+//! 1. **Kill one core at saturation**: each of Stock/Fine/Affinity runs
+//!    at its saturating rate, once cleanly and once with one core taken
+//!    offline a quarter into the measurement window. The dead core's
+//!    accept queue is re-homed and its flow groups re-steered; the served
+//!    timeline (10 ms buckets) yields the time-to-recover. Gates, for
+//!    Fine and Affinity: goodput retained ≥ 90% of the clean run, the
+//!    per-bucket rate returns to ≥ 90% of the pre-kill rate within
+//!    100 ms, zero established connections owned by live cores are lost,
+//!    and every audit stays clean.
+//! 2. **SYN flood**: every listen kind faces 10× its saturating
+//!    connection rate with SYN cookies and half-open reaping enabled.
+//!    Gates: every kind keeps serving (> 0 requests), cookies were
+//!    actually issued, and the cookie/request conservation audits hold.
+//!
+//! Writes `results/recovery.json` and exits nonzero on any gate failure.
+//!
+//! Usage: `recovery [--smoke] [--out PATH]`
+
+use app::{ListenKind, RunResult, Runner, ServerKind};
+use metrics::json::Json;
+use sim::overload::{HotplugEvent, ReapPolicy};
+use sim::time::{ms, Cycles};
+use sim::topology::Machine;
+
+/// Goodput the kill scenario must retain, and the fraction of the
+/// pre-kill per-bucket rate that counts as "recovered".
+const GOODPUT_GATE: f64 = 0.90;
+/// Bound on the reported time-to-recover for the gated kinds.
+const TTR_BOUND: Cycles = ms(100);
+/// Served-timeline bucket width.
+const BUCKET: Cycles = ms(10);
+/// SYN-flood load as a multiple of the saturating rate.
+const FLOOD_MULTIPLE: f64 = 10.0;
+
+fn main() {
+    let opts = Opts::parse();
+    bench::header("recovery", "kill-one-core and SYN-flood recovery gates");
+    let kill = kill_pass(&opts);
+    let flood = flood_pass(&opts);
+    let ok = kill.ok && flood.ok;
+
+    let report = Json::obj()
+        .field("smoke", opts.smoke)
+        .field("kill", kill.json)
+        .field("flood", flood.json)
+        .field("ok", ok);
+    if let Some(parent) = std::path::Path::new(&opts.out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&opts.out, report.render() + "\n").expect("write report");
+    println!("report: {}", opts.out);
+
+    if ok {
+        println!("recovery: OK (kill-one-core and SYN-flood gates hold)");
+    } else {
+        println!(
+            "recovery: FAILED (kill ok: {}, flood ok: {})",
+            kill.ok, flood.ok
+        );
+        std::process::exit(1);
+    }
+}
+
+struct Opts {
+    smoke: bool,
+    out: String,
+}
+
+impl Opts {
+    fn parse() -> Self {
+        let mut opts = Opts {
+            smoke: false,
+            out: "results/recovery.json".to_string(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--out" => {
+                    opts.out = args.next().expect("--out requires a value");
+                }
+                other => {
+                    panic!("unknown argument {other} (usage: recovery [--smoke] [--out PATH])")
+                }
+            }
+        }
+        opts
+    }
+}
+
+struct PassReport {
+    ok: bool,
+    json: Json,
+}
+
+// ---------------------------------------------------------------- kill
+
+/// Everything the kill scenario extracts from one (baseline, kill) pair.
+struct KillRow {
+    kind: ListenKind,
+    baseline_served: u64,
+    kill_served: u64,
+    goodput_retained: f64,
+    recovered: bool,
+    ttr: Cycles,
+    timeouts_live_owner: u64,
+    timeouts_dead_owner: u64,
+    rehomed_conns: u64,
+    rehome_ops: u64,
+    gated: bool,
+    problems: Vec<String>,
+}
+
+fn kill_pass(opts: &Opts) -> PassReport {
+    // Smoke keeps 24 cores: one dead core still leaves 95.8% of capacity,
+    // comfortably above the 90% goodput gate; full mode runs the paper's
+    // 48-core configuration.
+    let (cores, warmup, measure) = if opts.smoke {
+        (24, ms(200), ms(300))
+    } else {
+        (48, ms(300), ms(500))
+    };
+    let kill_core = (cores - 1) as u16;
+    let kill_at = warmup + measure / 4;
+    println!(
+        "\n[1/2] kill-one-core: {cores} cores at saturation, core {kill_core} dies at {} ms",
+        kill_at / ms(1)
+    );
+
+    let mut configs = Vec::new();
+    for &listen in &bench::IMPLS {
+        let mut base = bench::base_config(Machine::amd48(), cores, listen, ServerKind::apache());
+        base.warmup = warmup;
+        base.measure = measure;
+        base.timeline_bucket = BUCKET;
+        base.seed = 11;
+        let mut kill = base.clone();
+        kill.hotplug.push(HotplugEvent {
+            core: kill_core,
+            at: kill_at,
+            up: false,
+        });
+        configs.push(base);
+        configs.push(kill);
+    }
+    let results = bench::sweep_map(configs.clone(), bench::default_workers(), |cfg| {
+        Runner::new(cfg).run()
+    });
+
+    let mut rows = Vec::new();
+    for (i, &listen) in bench::IMPLS.iter().enumerate() {
+        let baseline = &results[2 * i];
+        let kill = &results[2 * i + 1];
+        let mut problems = Vec::new();
+        for (name, r) in [("baseline", baseline), ("kill", kill)] {
+            for v in r.audit.violations() {
+                problems.push(format!("{name} audit: {v}"));
+            }
+        }
+        let goodput = kill.served as f64 / (baseline.served as f64).max(1.0);
+        let (recovered, ttr) = time_to_recover(kill, warmup, kill_at, warmup + measure);
+        let gated = matches!(listen, ListenKind::Fine | ListenKind::Affinity);
+        if gated {
+            if goodput < GOODPUT_GATE {
+                problems.push(format!(
+                    "goodput retained {goodput:.3} < {GOODPUT_GATE} after killing one of {cores} cores"
+                ));
+            }
+            if !recovered {
+                problems.push("per-bucket rate never returned to 90% of pre-kill".to_string());
+            } else if ttr > TTR_BOUND {
+                problems.push(format!(
+                    "time-to-recover {} ms exceeds the {} ms bound",
+                    ttr / ms(1),
+                    TTR_BOUND / ms(1)
+                ));
+            }
+            if kill.timeouts_live_owner > 0 {
+                problems.push(format!(
+                    "{} established connections on live cores were lost",
+                    kill.timeouts_live_owner
+                ));
+            }
+            if kill.overload.rehome_ops == 0 {
+                problems.push("kill run never re-homed the dead core's queue".to_string());
+            }
+        }
+        rows.push(KillRow {
+            kind: listen,
+            baseline_served: baseline.served,
+            kill_served: kill.served,
+            goodput_retained: goodput,
+            recovered,
+            ttr,
+            timeouts_live_owner: kill.timeouts_live_owner,
+            timeouts_dead_owner: kill.timeouts_dead_owner,
+            rehomed_conns: kill.overload.rehomed_conns,
+            rehome_ops: kill.overload.rehome_ops,
+            gated,
+            problems,
+        });
+    }
+
+    let mut t = metrics::table::Table::new(&[
+        "kind",
+        "baseline",
+        "killed",
+        "retained%",
+        "ttr_ms",
+        "rehomed",
+        "live_lost",
+        "gate",
+    ]);
+    for r in &rows {
+        t.row_owned(vec![
+            r.kind.label().to_string(),
+            r.baseline_served.to_string(),
+            r.kill_served.to_string(),
+            format!("{:.1}", 100.0 * r.goodput_retained),
+            if r.recovered {
+                (r.ttr / ms(1)).to_string()
+            } else {
+                "never".to_string()
+            },
+            r.rehomed_conns.to_string(),
+            r.timeouts_live_owner.to_string(),
+            if !r.gated {
+                "-".to_string()
+            } else if r.problems.is_empty() {
+                "ok".to_string()
+            } else {
+                "FAIL".to_string()
+            },
+        ]);
+    }
+    print!("{}", t.render());
+    for r in &rows {
+        for p in &r.problems {
+            println!("  KILL [{:>8}] {p}", r.kind.label());
+        }
+    }
+    let ok = rows.iter().all(|r| r.problems.is_empty());
+    println!(
+        "  kill-one-core gates: {}",
+        if ok { "hold" } else { "VIOLATED" }
+    );
+
+    let json = Json::obj()
+        .field("cores", cores)
+        .field("kill_core", u64::from(kill_core))
+        .field("kill_at_ms", kill_at / ms(1))
+        .field("bucket_ms", BUCKET / ms(1))
+        .field(
+            "kinds",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .field("kind", r.kind.label())
+                            .field("baseline_served", r.baseline_served)
+                            .field("kill_served", r.kill_served)
+                            .field("goodput_retained", r.goodput_retained)
+                            .field("recovered", r.recovered)
+                            .field(
+                                "time_to_recover_ms",
+                                if r.recovered {
+                                    Json::U64(r.ttr / ms(1))
+                                } else {
+                                    Json::Null
+                                },
+                            )
+                            .field("timeouts_live_owner", r.timeouts_live_owner)
+                            .field("timeouts_dead_owner", r.timeouts_dead_owner)
+                            .field("rehomed_conns", r.rehomed_conns)
+                            .field("rehome_ops", r.rehome_ops)
+                            .field("gated", r.gated)
+                            .field(
+                                "problems",
+                                Json::Arr(
+                                    r.problems.iter().map(|p| Json::Str(p.clone())).collect(),
+                                ),
+                            )
+                            .field("ok", r.problems.is_empty())
+                    })
+                    .collect(),
+            ),
+        )
+        .field("ok", ok);
+    PassReport { ok, json }
+}
+
+/// Reads the recovery time off the kill run's served timeline: the first
+/// post-kill bucket whose served count returns to ≥ 90% of the pre-kill
+/// per-bucket average, measured from the kill instant to that bucket's
+/// end. Only complete buckets count on both sides.
+fn time_to_recover(
+    r: &RunResult,
+    warmup: Cycles,
+    kill_at: Cycles,
+    end_at: Cycles,
+) -> (bool, Cycles) {
+    let b = |t: Cycles| (t / BUCKET) as usize;
+    let bucket = |i: usize| r.timeline.get(i).copied().unwrap_or(0);
+    // Pre-kill rate: complete buckets inside [warmup, kill).
+    let (pre_lo, pre_hi) = (b(warmup) + 1, b(kill_at));
+    if pre_hi <= pre_lo {
+        return (false, 0);
+    }
+    let pre: u64 = (pre_lo..pre_hi).map(bucket).sum();
+    let pre_rate = pre as f64 / (pre_hi - pre_lo) as f64;
+    let threshold = GOODPUT_GATE * pre_rate;
+    // Post-kill: skip the partial bucket the kill lands in, stop before
+    // the partial bucket at run end.
+    for i in b(kill_at) + 1..b(end_at) {
+        if bucket(i) as f64 >= threshold {
+            let recovered_at = (i as u64 + 1) * BUCKET;
+            return (true, recovered_at.saturating_sub(kill_at));
+        }
+    }
+    (false, 0)
+}
+
+// --------------------------------------------------------------- flood
+
+fn flood_pass(opts: &Opts) -> PassReport {
+    let cores = 8;
+    let (warmup, measure) = if opts.smoke {
+        (ms(100), ms(150))
+    } else {
+        (ms(150), ms(250))
+    };
+    println!("\n[2/2] SYN flood: {FLOOD_MULTIPLE}x saturation, cookies + reaping on");
+
+    let mut configs = Vec::new();
+    for &listen in &ListenKind::ALL {
+        let rate = FLOOD_MULTIPLE * bench::rate_guess(listen, ServerKind::apache(), cores);
+        let mut cfg = bench::base_config(Machine::amd48(), cores, listen, ServerKind::apache());
+        cfg.warmup = warmup;
+        cfg.measure = measure;
+        cfg.conn_rate = rate;
+        cfg.seed = 13;
+        cfg.overload.syn_cookies = true;
+        // A short TTL so the reaper demonstrably fires inside the window.
+        cfg.overload.reap = Some(ReapPolicy {
+            ttl: ms(10),
+            synack_retries: 2,
+        });
+        configs.push(cfg);
+    }
+    let results = bench::sweep_map(configs.clone(), bench::default_workers(), |cfg| {
+        Runner::new(cfg).run()
+    });
+
+    let mut t = metrics::table::Table::new(&[
+        "kind",
+        "served",
+        "cookies",
+        "validated",
+        "cookie_est",
+        "reaped",
+        "overflow",
+        "gate",
+    ]);
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for (cfg, r) in configs.iter().zip(&results) {
+        let o = &r.overload;
+        let mut problems: Vec<String> = r
+            .audit
+            .violations()
+            .into_iter()
+            .map(|v| format!("audit: {v}"))
+            .collect();
+        if r.served == 0 {
+            problems.push("served nothing under flood".to_string());
+        }
+        if o.cookies_issued == 0 {
+            problems.push("flood never pushed the kind into cookie mode".to_string());
+        }
+        t.row_owned(vec![
+            cfg.listen.label().to_string(),
+            r.served.to_string(),
+            o.cookies_issued.to_string(),
+            o.cookies_validated.to_string(),
+            o.cookies_established.to_string(),
+            o.reaped.to_string(),
+            r.listen_stats.dropped_overflow.to_string(),
+            if problems.is_empty() { "ok" } else { "FAIL" }.to_string(),
+        ]);
+        for p in &problems {
+            println!("  FLOOD [{:>8}] {p}", cfg.listen.label());
+        }
+        ok &= problems.is_empty();
+        rows.push(
+            Json::obj()
+                .field("kind", cfg.listen.label())
+                .field("conn_rate", cfg.conn_rate)
+                .field("served", r.served)
+                .field("cookies_issued", o.cookies_issued)
+                .field("cookies_validated", o.cookies_validated)
+                .field("cookies_established", o.cookies_established)
+                .field("cookies_expired", o.cookies_expired)
+                .field("cookie_drops", o.cookie_drops)
+                .field("reaped", o.reaped)
+                .field("synack_retrans", o.synack_retrans)
+                .field("shed_on", o.shed_on)
+                .field("shed_off", o.shed_off)
+                .field("dropped_overflow", r.listen_stats.dropped_overflow)
+                .field(
+                    "problems",
+                    Json::Arr(problems.iter().map(|p| Json::Str(p.clone())).collect()),
+                )
+                .field("ok", problems.is_empty()),
+        );
+    }
+    print!("{}", t.render());
+    println!(
+        "  SYN-flood gates: {}",
+        if ok { "hold" } else { "VIOLATED" }
+    );
+
+    let json = Json::obj()
+        .field("cores", cores)
+        .field("rate_multiple", FLOOD_MULTIPLE)
+        .field("kinds", Json::Arr(rows))
+        .field("ok", ok);
+    PassReport { ok, json }
+}

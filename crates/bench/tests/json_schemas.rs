@@ -1,0 +1,152 @@
+//! Schema round-trip tests for the JSON artifacts the bench binaries write.
+//!
+//! Nightly CI uploads `results/chaos.json`, `results/recovery.json`, and
+//! `results/BENCH_sim.json`; downstream tooling reads them by field name.
+//! These tests run each writer in its cheapest mode, re-read the artifact
+//! through `Json::parse`, and pin the fields that must not be renamed
+//! silently. A writer-side rename now fails here instead of producing a
+//! nightly artifact nobody can read.
+
+use metrics::json::Json;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_binary(exe: &str, args: &[&str], out: &PathBuf) -> Json {
+    let status = Command::new(exe)
+        .args(args)
+        .arg("--out")
+        .arg(out)
+        .status()
+        .unwrap_or_else(|e| panic!("spawn {exe}: {e}"));
+    assert!(status.success(), "{exe} exited with {status}");
+    let text = std::fs::read_to_string(out).expect("artifact written");
+    let doc = Json::parse(&text).expect("artifact is valid JSON");
+    // The writers must emit exactly what our renderer produces, so the
+    // textual fixpoint holds on real artifacts, not just synthetic docs.
+    assert_eq!(doc.render(), text.trim_end(), "render fixpoint for {exe}");
+    doc
+}
+
+fn obj<'a>(doc: &'a Json, key: &str) -> &'a Json {
+    doc.get(key)
+        .unwrap_or_else(|| panic!("missing field {key:?} in {}", doc.render()))
+}
+
+fn arr<'a>(doc: &'a Json, key: &str) -> &'a [Json] {
+    match obj(doc, key) {
+        Json::Arr(items) => items,
+        other => panic!("field {key:?} is not an array: {}", other.render()),
+    }
+}
+
+fn assert_u64(doc: &Json, key: &str) {
+    assert!(
+        matches!(obj(doc, key), Json::U64(_)),
+        "field {key:?} is not a u64"
+    );
+}
+
+fn assert_num(doc: &Json, key: &str) {
+    assert!(
+        matches!(obj(doc, key), Json::U64(_) | Json::I64(_) | Json::F64(_)),
+        "field {key:?} is not numeric"
+    );
+}
+
+fn assert_bool(doc: &Json, key: &str) {
+    assert!(
+        matches!(obj(doc, key), Json::Bool(_)),
+        "field {key:?} is not a bool"
+    );
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("bench-json-schemas");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn chaos_artifact_schema_round_trips() {
+    let out = tmp("chaos.json");
+    let doc = run_binary(
+        env!("CARGO_BIN_EXE_chaos"),
+        &["--cases", "2", "--seed", "7"],
+        &out,
+    );
+    assert_u64(&doc, "cases");
+    assert_u64(&doc, "base_seed");
+    assert_bool(&doc, "ok");
+    let fuzz = obj(&doc, "fuzz");
+    assert_u64(fuzz, "cases");
+    assert_bool(fuzz, "ok");
+    let ordering = obj(&doc, "ordering");
+    assert_bool(ordering, "ok");
+}
+
+#[test]
+fn recovery_artifact_schema_round_trips() {
+    let out = tmp("recovery.json");
+    let doc = run_binary(env!("CARGO_BIN_EXE_recovery"), &["--smoke"], &out);
+    assert_bool(&doc, "smoke");
+    assert_bool(&doc, "ok");
+
+    let kill = obj(&doc, "kill");
+    assert_u64(kill, "cores");
+    assert_u64(kill, "kill_core");
+    assert_num(kill, "kill_at_ms");
+    assert_num(kill, "bucket_ms");
+    let kinds = arr(kill, "kinds");
+    assert!(!kinds.is_empty(), "kill pass reports at least one kind");
+    for row in kinds {
+        assert!(matches!(obj(row, "kind"), Json::Str(_)));
+        assert_u64(row, "baseline_served");
+        assert_u64(row, "kill_served");
+        assert_num(row, "goodput_retained");
+        assert_bool(row, "recovered");
+        assert_num(row, "time_to_recover_ms");
+        assert_u64(row, "timeouts_live_owner");
+        assert_u64(row, "rehome_ops");
+        assert_bool(row, "ok");
+    }
+
+    let flood = obj(&doc, "flood");
+    assert_u64(flood, "cores");
+    assert_num(flood, "rate_multiple");
+    let kinds = arr(flood, "kinds");
+    assert!(!kinds.is_empty(), "flood pass reports at least one kind");
+    for row in kinds {
+        assert!(matches!(obj(row, "kind"), Json::Str(_)));
+        assert_u64(row, "served");
+        assert_u64(row, "cookies_issued");
+        assert_u64(row, "cookies_validated");
+        assert_u64(row, "cookies_established");
+        assert_u64(row, "cookie_drops");
+        assert_u64(row, "reaped");
+        assert_bool(row, "ok");
+    }
+}
+
+#[test]
+fn wallclock_artifact_schema_round_trips() {
+    let out = tmp("bench_sim.json");
+    let doc = run_binary(
+        env!("CARGO_BIN_EXE_wallclock"),
+        &["--smoke", "--repeats", "1"],
+        &out,
+    );
+    assert!(matches!(obj(&doc, "schema"), Json::Str(_)));
+    assert!(matches!(obj(&doc, "mode"), Json::Str(_)));
+    assert_u64(&doc, "repeats");
+    assert_u64(&doc, "total_events");
+    assert_num(&doc, "total_wheel_wall_s");
+    let kinds = arr(&doc, "kinds");
+    assert!(!kinds.is_empty(), "wallclock reports at least one kind");
+    for row in kinds {
+        assert!(matches!(obj(row, "listen"), Json::Str(_)));
+        assert_u64(row, "events");
+        assert!(matches!(obj(row, "fingerprint"), Json::Str(_)));
+        assert_num(row, "events_per_sec");
+        assert_num(row, "wheel_vs_heap");
+    }
+}

@@ -69,8 +69,12 @@ impl ListenSocket for FineAccept {
         let Some(req) = k.reqs.lookup(&tuple) else {
             return (EMPTY_SCAN_COST, AckOutcome::DroppedOverflow);
         };
-        let q = &mut self.queues[core.index()];
-        if q.items.len() >= self.cfg.max_local_queue() {
+        // Enforce the local split *and* the socket-wide backlog: the
+        // per-core cap rounds up (`max(1)`), so with more cores than
+        // backlog slots the local checks alone would over-admit.
+        if self.queues[core.index()].items.len() >= self.cfg.max_local_queue()
+            || self.total_queued() >= self.cfg.max_backlog
+        {
             if let Some(r) = k.reqs.remove(req) {
                 k.slab.free(core, r.obj, &mut k.cache);
             }
@@ -97,6 +101,71 @@ impl ListenSocket for FineAccept {
                 queue_core: core,
             },
         )
+    }
+
+    fn on_cookie_ack(
+        &mut self,
+        k: &mut Kernel,
+        core: CoreId,
+        at: Cycles,
+        tuple: FlowTuple,
+    ) -> (Cycles, AckOutcome) {
+        if self.queues[core.index()].items.len() >= self.cfg.max_local_queue()
+            || self.total_queued() >= self.cfg.max_backlog
+        {
+            // Nothing was allocated for a cookie, so nothing leaks.
+            self.stats.dropped_overflow += 1;
+            return (EMPTY_SCAN_COST, AckOutcome::DroppedOverflow);
+        }
+        let (work, conn, req_obj) = ops::cookie_establish(k, core, at, tuple);
+        let q = &self.queues[core.index()];
+        let enq = q.enqueue_access(k, core);
+        let (_, spin) = self.queues[core.index()].lock.run_locked(
+            at + work,
+            QUEUE_LOCK_HOLD + enq.latency,
+            &mut k.lockstat,
+        );
+        self.queues[core.index()]
+            .items
+            .push_back(AcceptItem { conn, req_obj });
+        self.stats.enqueued += 1;
+        (
+            work + spin + QUEUE_LOCK_HOLD + enq.latency + k.lockstat.op_overhead(),
+            AckOutcome::Enqueued {
+                conn,
+                queue_core: core,
+            },
+        )
+    }
+
+    fn rehome(&mut self, k: &mut Kernel, from: CoreId, to: CoreId, at: Cycles) -> (Cycles, u64) {
+        let (fi, ti) = (from.index(), to.index());
+        if fi == ti || self.queues[fi].items.is_empty() {
+            return (0, 0);
+        }
+        let mut cycles = 0u64;
+        let mut moved = 0u64;
+        // The live core pulls every migrated line: unlink from the dead
+        // clone, link onto its own. The target may temporarily exceed its
+        // local split — the cap is enforced at enqueue time only, as in
+        // Linux.
+        while let Some(item) = self.queues[fi].items.pop_front() {
+            let deq = self.queues[fi].dequeue_access(k, to);
+            let enq = self.queues[ti].enqueue_access(k, to);
+            self.queues[ti].items.push_back(item);
+            cycles += deq.latency + enq.latency;
+            moved += 1;
+        }
+        // Both queue locks are taken once for the whole splice.
+        let (_, w1) = self.queues[fi]
+            .lock
+            .run_locked(at, QUEUE_LOCK_HOLD, &mut k.lockstat);
+        let o1 = k.lockstat.op_overhead();
+        let (_, w2) = self.queues[ti]
+            .lock
+            .run_locked(at, QUEUE_LOCK_HOLD, &mut k.lockstat);
+        let o2 = k.lockstat.op_overhead();
+        (cycles + w1 + w2 + 2 * QUEUE_LOCK_HOLD + o1 + o2, moved)
     }
 
     fn try_accept(&mut self, k: &mut Kernel, core: CoreId, at: Cycles) -> AcceptOutcome {
@@ -154,7 +223,12 @@ impl ListenSocket for FineAccept {
     }
 
     fn backlogged(&self, core: CoreId) -> bool {
+        // Mirror `on_ack`'s drop decision exactly: the local split *or*
+        // the socket-wide backlog. Reporting only the local queue would
+        // let the fault plane admit SYNs into handshakes the global cap
+        // is guaranteed to drop.
         self.queues[core.index()].items.len() >= self.cfg.max_local_queue()
+            || self.total_queued() >= self.cfg.max_backlog
     }
 
     fn queued_on(&self, core: CoreId) -> usize {
@@ -258,6 +332,61 @@ mod tests {
                 assert_eq!(out, AckOutcome::DroppedOverflow);
             }
         }
+    }
+
+    #[test]
+    fn global_backlog_caps_total_even_with_generous_splits() {
+        // More cores than backlog slots: the per-core split rounds up to
+        // 1, so only the socket-wide check keeps the total at the cap.
+        let mut k = Kernel::new(Machine::amd48());
+        let mut cfg = ListenConfig::paper(4);
+        cfg.max_backlog = 2;
+        let mut s = FineAccept::new(&mut k, cfg);
+        let mut t = 0;
+        let mut admitted = 0;
+        for c in 0..4u16 {
+            s.on_syn(&mut k, CoreId(c), t, tuple(c));
+            t += 1_000_000;
+            let (_, out) = s.on_ack(&mut k, CoreId(c), t, tuple(c));
+            t += 1_000_000;
+            if matches!(out, AckOutcome::Enqueued { .. }) {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 2);
+        assert_eq!(s.total_queued(), 2);
+        assert_eq!(s.stats().dropped_overflow, 2);
+        assert!(k.reqs.is_empty(), "dropped requests must not leak");
+    }
+
+    #[test]
+    fn rehome_moves_a_dead_cores_queue() {
+        let (mut s, mut k) = setup(4);
+        for p in 0..3u16 {
+            establish(&mut s, &mut k, CoreId(1), p, u64::from(p) * 1_000_000);
+        }
+        establish(&mut s, &mut k, CoreId(2), 50, 10_000_000);
+        let before = s.total_queued();
+        let (cycles, moved) = s.rehome(&mut k, CoreId(1), CoreId(3), 20_000_000);
+        assert_eq!(moved, 3);
+        assert!(cycles > 0);
+        assert_eq!(s.queued_on(CoreId(1)), 0);
+        assert_eq!(s.queued_on(CoreId(3)), 3);
+        assert_eq!(s.total_queued(), before, "re-homing conserves items");
+        // Idempotent once empty.
+        assert_eq!(s.rehome(&mut k, CoreId(1), CoreId(3), 21_000_000), (0, 0));
+    }
+
+    #[test]
+    fn cookie_ack_enqueues_locally() {
+        let (mut s, mut k) = setup(4);
+        let (_, out) = s.on_cookie_ack(&mut k, CoreId(2), 0, tuple(9));
+        assert!(matches!(
+            out,
+            AckOutcome::Enqueued { queue_core, .. } if queue_core == CoreId(2)
+        ));
+        assert_eq!(s.queued_on(CoreId(2)), 1);
+        assert!(k.reqs.is_empty());
     }
 
     #[test]

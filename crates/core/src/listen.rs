@@ -195,6 +195,35 @@ pub trait ListenSocket {
         tuple: FlowTuple,
     ) -> (Cycles, AckOutcome);
 
+    /// An ACK carrying a valid SYN cookie arrived on `core` (softirq
+    /// context): no request socket exists — the connection is rebuilt
+    /// statelessly ([`tcp::ops::cookie_establish`]) and enqueued like a
+    /// normal handshake, subject to the same backlog caps. The runner
+    /// only calls this when cookie mode is enabled.
+    fn on_cookie_ack(
+        &mut self,
+        k: &mut Kernel,
+        core: CoreId,
+        at: Cycles,
+        tuple: FlowTuple,
+    ) -> (Cycles, AckOutcome);
+
+    /// Migrates everything queued on dead core `from` to live core `to`
+    /// (the hotplug/watchdog recovery path, §4.3's load balancer taken to
+    /// its conclusion). Cache costs are charged on `to`, which pulls the
+    /// migrated lines. Returns `(cycles, items_moved)`. Implementations
+    /// with one global queue have nothing core-local to move — the
+    /// default no-op is correct for them.
+    fn rehome(
+        &mut self,
+        _k: &mut Kernel,
+        _from: CoreId,
+        _to: CoreId,
+        _at: Cycles,
+    ) -> (Cycles, u64) {
+        (0, 0)
+    }
+
     /// An application thread on `core` attempts to accept at time `at`.
     fn try_accept(&mut self, k: &mut Kernel, core: CoreId, at: Cycles) -> AcceptOutcome;
 

@@ -1,11 +1,16 @@
-//! A minimal JSON writer for machine-readable reports.
+//! A minimal JSON writer and reader for machine-readable reports.
 //!
 //! The harness has no serialization dependency (the workspace builds
-//! offline), so the few binaries that emit JSON — `simcheck` writes
-//! `results/simcheck.json` — build a [`Json`] tree and render it. Only
-//! what those reports need is implemented: objects keep insertion order,
-//! `u64` values are emitted exactly (not through `f64`, which would
-//! corrupt 64-bit fingerprints), and strings are escaped per RFC 8259.
+//! offline), so the binaries that emit JSON — `simcheck`, `chaos`,
+//! `recovery`, `wallclock` — build a [`Json`] tree and render it, and
+//! the schema round-trip tests read the artifacts back with
+//! [`Json::parse`]. Only what those reports need is implemented: objects
+//! keep insertion order, `u64` values are emitted exactly (not through
+//! `f64`, which would corrupt 64-bit fingerprints), and strings are
+//! escaped per RFC 8259. The parser guarantees `parse(s)?.render() == s`
+//! for any rendered document (integral numbers without sign parse as
+//! `U64`, so an `F64(0.0)` rendered as `0` reads back as `U64(0)` — the
+//! textual form is identical).
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +48,37 @@ impl Json {
             other => panic!("field() on non-object {other:?}"),
         }
         self
+    }
+
+    /// Parses a JSON document (the RFC 8259 subset `render` emits, plus
+    /// insignificant whitespace). Returns the byte offset and a message
+    /// on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Fails on syntax errors, trailing garbage, numbers no variant can
+    /// hold exactly, and unterminated strings.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a key in an object; `None` on non-objects too.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
     }
 
     /// Renders the value as a compact JSON document.
@@ -85,6 +121,186 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent state over the input bytes.
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.i) {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.i)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let n = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(n)
+                                    .ok_or_else(|| "surrogate \\u escape".to_string())?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Step over one UTF-8 scalar (the input is a &str, so
+                    // boundaries are well-formed).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..self.i])
+                            .map_err(|_| "invalid UTF-8".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.b.get(self.i) {
+            match c {
+                b'0'..=b'9' => self.i += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii");
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
     }
 }
 
@@ -188,5 +404,58 @@ mod tests {
     fn non_finite_floats_render_null() {
         assert_eq!(Json::F64(f64::NAN).render(), "null");
         assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj()
+            .field("name", "chaos")
+            .field("ok", true)
+            .field("none", Json::Null)
+            .field("fp", 0xdead_beef_dead_beef_u64)
+            .field("neg", -42i64)
+            .field("ratio", 0.625)
+            .field("items", vec![1u64, 2, 3])
+            .field("nested", Json::obj().field("x", "a\"b\\c\nd"));
+        let text = doc.render();
+        let back = Json::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        assert_eq!(back.render(), text, "textual round trip");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_preserves_u64_exactly() {
+        let v = Json::parse(" { \"fp\" : 18446744073709551615 ,\n \"a\": [ ] } ").unwrap();
+        assert_eq!(v.get("fp"), Some(&Json::U64(u64::MAX)));
+        assert_eq!(v.get("a"), Some(&Json::Arr(Vec::new())));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"open",
+            "{\"a\":1}x",
+            "[01e]",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_floats() {
+        assert_eq!(
+            Json::parse("\"a\\u0041\\n\\/\"").unwrap(),
+            Json::Str("aA\n/".into())
+        );
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("2.5e2").unwrap(), Json::F64(250.0));
+        // An integral render of a float reads back as the same text.
+        assert_eq!(Json::parse("0").unwrap().render(), "0");
     }
 }

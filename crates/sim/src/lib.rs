@@ -20,6 +20,9 @@
 //! * [`fault`] — the deterministic fault-injection plane: replayable
 //!   packet drop/duplicate/reorder schedules, SYN-retransmission policy,
 //!   and core-stall windows, all derived from the run seed.
+//! * [`overload`] — the overload-control plane the server defends itself
+//!   with: SYN cookies, adaptive shedding watermarks, half-open reaping,
+//!   and core-hotplug/watchdog policies.
 //! * [`lock`] — the timeline lock model: locks are resources with a
 //!   `free_at` horizon; acquisitions either spin (charged as busy cycles)
 //!   or sleep (charged as idle time, Linux's socket-lock "mutex mode"),
@@ -39,6 +42,7 @@ pub mod fastmap;
 pub mod fault;
 pub mod fingerprint;
 pub mod lock;
+pub mod overload;
 pub mod rng;
 pub mod sched;
 pub mod time;
@@ -51,6 +55,7 @@ pub use fastmap::FastMap;
 pub use fault::{FaultPlan, FaultStats, RetransPolicy, StallWindow};
 pub use fingerprint::Fingerprint;
 pub use lock::TimelineLock;
+pub use overload::{HotplugEvent, OverloadConfig, OverloadStats, ReapPolicy, WatchdogPolicy};
 pub use rng::SimRng;
 pub use time::Cycles;
 pub use topology::{CoreId, Machine};

@@ -86,6 +86,14 @@ impl ReqTable {
         self.reqs.len()
     }
 
+    /// Total requests ever inserted (never decremented; the conservation
+    /// audit balances this against establishes + drops + reaps +
+    /// residual).
+    #[must_use]
+    pub fn created(&self) -> u64 {
+        self.next - 1
+    }
+
     /// Whether no requests are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -183,6 +191,8 @@ mod tests {
         assert_eq!(req.tuple, tuple);
         assert_eq!(req.obj, obj);
         assert!(t.is_empty());
+        // Removal does not un-create: the counter is monotone.
+        assert_eq!(t.created(), 1);
         assert_eq!(t.lookup(&tuple), None);
     }
 

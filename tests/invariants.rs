@@ -5,6 +5,7 @@
 use affinity_accept_repro::prelude::*;
 use proptest::prelude::*;
 use sim::time::ms;
+use sim::topology::CoreId;
 
 fn run(listen: ListenKind, cores: usize, rate: f64, seed: u64) -> RunResult {
     let mut cfg = RunConfig::new(
@@ -91,5 +92,91 @@ proptest! {
         prop_assert!(s.accepts_local + s.accepts_stolen <= s.enqueued + 2_000);
         prop_assert!(r.served as f64 <= rate * 6.0 * 0.15 * 2.5 + 500.0);
         prop_assert!(r.timeouts == 0, "no timeouts in a short unsaturated run");
+    }
+
+    /// No listen-socket implementation ever holds more than `max_backlog`
+    /// pending connections in total, however handshakes, stateless cookie
+    /// establishes, accepts, and queue re-homings interleave — and
+    /// `backlogged()` must agree with the drop decision: a socket at its
+    /// total cap reports every core as backlogged.
+    #[test]
+    fn backlog_cap_holds_across_kinds(
+        cores in 1usize..6,
+        max_backlog in 4usize..40,
+        seed in 1u64..10_000,
+    ) {
+        for kind in 0..3usize {
+            let mut k = Kernel::new(Machine::amd48());
+            let mut lcfg = ListenConfig::paper(cores);
+            lcfg.max_backlog = max_backlog;
+            let mut sock: Box<dyn ListenSocket> = match kind {
+                0 => Box::new(StockAccept::new(&mut k, lcfg)),
+                1 => Box::new(FineAccept::new(&mut k, lcfg)),
+                _ => Box::new(AffinityAccept::new(&mut k, lcfg)),
+            };
+            let mut rng = SimRng::new(seed);
+            let mut pending: Vec<FlowTuple> = Vec::new();
+            let mut port = 1u16;
+            let mut now = 0;
+            for _ in 0..300 {
+                now += 100;
+                let core = CoreId(rng.below(cores as u64) as u16);
+                match rng.below(5) {
+                    0 | 1 => {
+                        // SYN, later completed by its ACK (half of them
+                        // immediately, so queues actually fill).
+                        let t = FlowTuple::client(1, port, 80);
+                        port = port.wrapping_add(1);
+                        sock.on_syn(&mut k, core, now, t);
+                        if rng.chance(0.5) {
+                            let _ = sock.on_ack(&mut k, core, now + 10, t);
+                        } else {
+                            pending.push(t);
+                        }
+                    }
+                    2 if !pending.is_empty() => {
+                        let t = pending.swap_remove(rng.index(pending.len()));
+                        let _ = sock.on_ack(&mut k, core, now, t);
+                    }
+                    2 | 3 => {
+                        // A stateless cookie establish (no request socket).
+                        let t = FlowTuple::client(2, port, 80);
+                        port = port.wrapping_add(1);
+                        let _ = sock.on_cookie_ack(&mut k, core, now, t);
+                    }
+                    _ if rng.chance(0.15) && cores > 1 => {
+                        // Hotplug: re-home one core's queue to another.
+                        let from = CoreId(rng.below(cores as u64) as u16);
+                        let to = CoreId(rng.below(cores as u64) as u16);
+                        if from != to {
+                            let before = sock.total_queued();
+                            let (_, moved) = sock.rehome(&mut k, from, to, now);
+                            prop_assert_eq!(
+                                sock.total_queued(), before,
+                                "rehome must conserve items (moved {})", moved
+                            );
+                        }
+                    }
+                    _ => {
+                        let _ = sock.try_accept(&mut k, core, now);
+                    }
+                }
+                let total = sock.total_queued();
+                prop_assert!(
+                    total <= max_backlog,
+                    "{} holds {} pending > max_backlog {}",
+                    sock.name(), total, max_backlog
+                );
+                if total >= max_backlog {
+                    for c in 0..cores {
+                        prop_assert!(
+                            sock.backlogged(CoreId(c as u16)),
+                            "{} at its cap but core {} not backlogged",
+                            sock.name(), c
+                        );
+                    }
+                }
+            }
+        }
     }
 }
