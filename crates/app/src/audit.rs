@@ -178,9 +178,18 @@ pub struct RunAudit {
 impl RunAudit {
     /// Re-checks every conservation law; returns one message per
     /// violation, empty when the run is internally consistent.
+    ///
+    /// Under the `fast` feature the checks compile to an empty vector:
+    /// the counters themselves are still assembled (they double as run
+    /// metrics and cost nothing beyond bookkeeping the runner does
+    /// anyway), but the audit plane stops re-deriving the conservation
+    /// laws. The instrumented build remains the verification oracle.
     #[must_use]
     pub fn violations(&self) -> Vec<String> {
         let mut v = Vec::new();
+        if cfg!(feature = "fast") {
+            return v;
+        }
         let mut check = |ok: bool, msg: String| {
             if !ok {
                 v.push(msg);
@@ -379,7 +388,8 @@ impl RunAudit {
     }
 }
 
-#[cfg(test)]
+// Violation reporting only exists in instrumented builds (the audit plane is compiled out under `fast`).
+#[cfg(all(test, not(feature = "fast")))]
 mod tests {
     use super::*;
 

@@ -32,7 +32,7 @@ use sim::core_set::CoreSet;
 use sim::events::Backend;
 use sim::fastmap::FastMap;
 use sim::fault::{FaultPlan, FaultStats};
-use sim::fingerprint::Fingerprint;
+use sim::fingerprint::ActiveFingerprint;
 use sim::overload::{HotplugEvent, OverloadConfig, OverloadStats};
 use sim::rng::SimRng;
 use sim::time::{ms, us, Cycles, CYCLES_PER_SEC};
@@ -447,7 +447,7 @@ pub struct Runner {
     /// their owning core was live or down at that moment.
     timeouts_live_owner: u64,
     timeouts_dead_owner: u64,
-    fingerprint: Fingerprint,
+    fingerprint: ActiveFingerprint,
     /// Events dispatched by the run loop (the wallclock bench's
     /// events/sec numerator).
     events_executed: u64,
@@ -619,7 +619,7 @@ impl Runner {
             timeline: Vec::new(),
             timeouts_live_owner: 0,
             timeouts_dead_owner: 0,
-            fingerprint: Fingerprint::new(),
+            fingerprint: ActiveFingerprint::new(),
             events_executed: 0,
             dbg_on: std::env::var_os("RUNNER_DEBUG").is_some(),
             accepts_seen: 0,
@@ -749,7 +749,8 @@ impl Runner {
         let t = &mut self.tasks[tid as usize];
         if !t.queued {
             t.queued = true;
-            self.q.push(at, Ev::TaskRun(tid));
+            let core = t.core.index();
+            self.q.push_to(core, at, Ev::TaskRun(tid));
         }
     }
 
@@ -1426,7 +1427,7 @@ impl Runner {
             self.softirq_pending[ring as usize] = false;
         } else {
             let at = self.cores.core(core).busy_until.max(self.now);
-            self.q.push(at, Ev::Softirq(ring));
+            self.q.push_to(usize::from(ring), at, Ev::Softirq(ring));
         }
     }
 
@@ -1497,7 +1498,11 @@ impl Runner {
                     RxOutcome::Delivered { ring, at } => {
                         if !self.softirq_pending[ring.0 as usize] {
                             self.softirq_pending[ring.0 as usize] = true;
-                            self.q.push(at + IRQ_LATENCY, Ev::Softirq(ring.0));
+                            self.q.push_to(
+                                usize::from(ring.0),
+                                at + IRQ_LATENCY,
+                                Ev::Softirq(ring.0),
+                            );
                         }
                     }
                     RxOutcome::DroppedRingFull | RxOutcome::DroppedFlush => {}
@@ -1841,7 +1846,9 @@ impl Runner {
                 }
             }
             self.now = t;
-            self.fold_event(t, &ev);
+            if sim::fingerprint::ENABLED {
+                self.fold_event(t, &ev);
+            }
             self.events_executed += 1;
             self.handle(ev);
         }

@@ -13,13 +13,23 @@
 //!    one at a random future offset, fixed queue depth) isolating raw
 //!    queue throughput for each backend.
 //!
+//! With `--threads N[,M,...]` each fig6 kind additionally runs on the
+//! sharded parallel backend (48 shards, N worker threads); every parallel
+//! lane must reproduce the wheel's fingerprint and event count exactly.
+//! Built with `--features fast` the instrumentation planes are compiled
+//! out and the report carries `"instrumentation": "fast"` — the fast lane
+//! of the events/sec comparison.
+//!
 //! Writes `results/BENCH_sim.json`. With `--baseline PATH` the run fails
 //! (exit 1) if its aggregate events/sec drops more than 30% below the
-//! `total_events_per_sec` recorded in the baseline file — the CI regression
-//! gate. Set `WALLCLOCK_NO_GATE=1` to bypass the gate (e.g. on a host known
-//! to be slower than the one that produced the committed baseline).
+//! `total_events_per_sec` recorded in the baseline file, **or** if any
+//! single kind drops more than 30% below that kind's recorded
+//! `events_per_sec` — a per-kind regression can hide inside a flat
+//! aggregate when another kind got faster. Set `WALLCLOCK_NO_GATE=1` to
+//! bypass the gate (e.g. on a host known to be slower than the one that
+//! produced the committed baseline).
 //!
-//! Usage: `wallclock [--smoke] [--repeats N] [--baseline PATH] [--out PATH]`
+//! Usage: `wallclock [--smoke] [--repeats N] [--threads LIST] [--baseline PATH] [--out PATH]`
 
 use app::{ListenKind, RunConfig, Runner, ServerKind, Workload};
 use metrics::json::Json;
@@ -45,10 +55,23 @@ fn main() {
         "wallclock",
         "simulator events/sec baseline + queue microbench",
     );
+    let threads_label = if opts.threads.is_empty() {
+        String::new()
+    } else {
+        format!(
+            ", sharded@{}",
+            opts.threads
+                .iter()
+                .map(u16::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    };
     println!(
-        "mode: {}   repeats: {}   backends: heap, wheel",
+        "mode: {}   repeats: {}   instrumentation: {}   backends: heap, wheel{threads_label}",
         if opts.smoke { "smoke" } else { "full" },
-        opts.repeats
+        opts.repeats,
+        instrumentation(),
     );
 
     let mut kinds = Vec::new();
@@ -95,7 +118,7 @@ fn main() {
     println!("report: {}", opts.out);
 
     if let Some(path) = &opts.baseline {
-        gate(path, total_eps);
+        gate(path, total_eps, &kinds);
     }
 }
 
@@ -104,8 +127,18 @@ fn main() {
 struct Opts {
     smoke: bool,
     repeats: usize,
+    threads: Vec<u16>,
     baseline: Option<String>,
     out: String,
+}
+
+/// Which instrumentation planes this binary was compiled with.
+fn instrumentation() -> &'static str {
+    if cfg!(feature = "fast") {
+        "fast"
+    } else {
+        "full"
+    }
 }
 
 impl Opts {
@@ -113,6 +146,7 @@ impl Opts {
         let mut opts = Opts {
             smoke: false,
             repeats: 0,
+            threads: Vec::new(),
             baseline: None,
             out: "results/BENCH_sim.json".to_string(),
         };
@@ -125,11 +159,18 @@ impl Opts {
             match a.as_str() {
                 "--smoke" => opts.smoke = true,
                 "--repeats" => opts.repeats = value("--repeats").parse().expect("--repeats N"),
+                "--threads" => {
+                    opts.threads = value("--threads")
+                        .split(',')
+                        .map(|t| t.trim().parse().expect("--threads N[,M,...]"))
+                        .collect();
+                }
                 "--baseline" => opts.baseline = Some(value("--baseline")),
                 "--out" => opts.out = value("--out"),
                 other => panic!(
                     "unknown argument {other} \
-                     (usage: wallclock [--smoke] [--repeats N] [--baseline PATH] [--out PATH])"
+                     (usage: wallclock [--smoke] [--repeats N] [--threads LIST] \
+                     [--baseline PATH] [--out PATH])"
                 ),
             }
         }
@@ -175,10 +216,12 @@ struct KindRow {
     fingerprint: u64,
     wheel_wall: f64,
     heap_wall: f64,
+    /// One row per `--threads` value: `(threads, best wall)`.
+    sharded: Vec<(u16, f64)>,
 }
 
-/// Best-of-`repeats` wall per backend; asserts the two backends agree on
-/// the fingerprint and event count.
+/// Best-of-`repeats` wall per backend; asserts the two serial backends
+/// (and every parallel lane) agree on the fingerprint and event count.
 fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
     let mut walls = [f64::INFINITY; 2]; // [heap, wheel]
     let mut fps = [0u64; 2];
@@ -222,12 +265,49 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
         walls[0] / walls[1],
         fps[1]
     );
+    let mut sharded = Vec::new();
+    for &threads in &opts.threads {
+        let mut wall = f64::INFINITY;
+        for _ in 0..opts.repeats {
+            let mut cfg = fig6_config(listen, opts.smoke);
+            cfg.evq = Backend::Sharded {
+                shards: 48,
+                threads,
+            };
+            let t0 = Instant::now();
+            let r = Runner::new(cfg).run();
+            wall = wall.min(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                r.fingerprint,
+                fps[1],
+                "{} threads={threads}: parallel drain diverged from the wheel \
+                 (fp {:#018x} != {:#018x})",
+                listen.label(),
+                r.fingerprint,
+                fps[1]
+            );
+            assert_eq!(
+                r.events_executed,
+                events[1],
+                "{} threads={threads}: event counts diverged",
+                listen.label()
+            );
+        }
+        println!(
+            "{:8} sharded threads={threads}: {wall:.3}s ({:.0} ev/s)  vs wheel {:.2}x",
+            "",
+            events[1] as f64 / wall,
+            walls[1] / wall
+        );
+        sharded.push((threads, wall));
+    }
     KindRow {
         listen,
         events: events[1],
         fingerprint: fps[1],
         wheel_wall: walls[1],
         heap_wall: walls[0],
+        sharded,
     }
 }
 
@@ -316,12 +396,31 @@ fn report_json(
                     .field("seed_wall_s", seed)
                     .field("speedup_vs_seed", seed / row.wheel_wall);
             }
+            if !row.sharded.is_empty() {
+                let lanes: Vec<Json> = row
+                    .sharded
+                    .iter()
+                    .map(|&(threads, wall)| {
+                        Json::obj()
+                            .field("threads", u64::from(threads))
+                            .field("wall_s", wall)
+                            .field("events_per_sec", row.events as f64 / wall)
+                            .field("vs_wheel", row.wheel_wall / wall)
+                    })
+                    .collect();
+                j = j.field("sharded", Json::Arr(lanes));
+            }
             j
         })
         .collect();
     let mut report = Json::obj()
         .field("schema", "bench_sim/v1")
         .field("mode", if opts.smoke { "smoke" } else { "full" })
+        .field("instrumentation", instrumentation())
+        .field(
+            "threads",
+            Json::Arr(opts.threads.iter().map(|&t| u64::from(t).into()).collect()),
+        )
         .field("machine", "intel80")
         .field("cores", 48u64)
         .field("server", "lighttpd")
@@ -354,22 +453,47 @@ fn report_json(
 // ------------------------------------------------------------------ gate
 
 /// Fails the run if aggregate events/sec fell more than 30% below the
-/// baseline file's `total_events_per_sec`.
-fn gate(path: &str, total_eps: f64) {
+/// baseline file's `total_events_per_sec`, or any kind fell more than 30%
+/// below its own recorded `events_per_sec`. The per-kind floors exist
+/// because the aggregate is dominated by the slowest kind: a 2x regression
+/// in stock (the fastest, fewest-events kind) moves the total by a few
+/// percent and would sail through an aggregate-only gate.
+fn gate(path: &str, total_eps: f64, kinds: &[KindRow]) {
     if std::env::var_os("WALLCLOCK_NO_GATE").is_some() {
         println!("gate: skipped (WALLCLOCK_NO_GATE set)");
         return;
     }
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
-    let baseline_eps = scan_number(&text, "total_events_per_sec")
+    let baseline =
+        Json::parse(&text).unwrap_or_else(|e| panic!("baseline {path} is not JSON: {e}"));
+    let baseline_eps = number(&baseline, "total_events_per_sec")
         .unwrap_or_else(|| panic!("no total_events_per_sec in {path}"));
+    let mut failed = false;
     let floor = baseline_eps * 0.7;
     let verdict = if total_eps >= floor { "ok" } else { "FAIL" };
+    failed |= total_eps < floor;
     println!(
         "gate: {total_eps:.0} ev/s vs baseline {baseline_eps:.0} (floor {floor:.0}): {verdict}"
     );
-    if total_eps < floor {
+    for row in kinds {
+        let Some(base_eps) = baseline_kind_eps(&baseline, row.listen.label()) else {
+            println!(
+                "gate: {:8} no per-kind baseline, skipped",
+                row.listen.label()
+            );
+            continue;
+        };
+        let eps = row.events as f64 / row.wheel_wall;
+        let floor = base_eps * 0.7;
+        let verdict = if eps >= floor { "ok" } else { "FAIL" };
+        failed |= eps < floor;
+        println!(
+            "gate: {:8} {eps:.0} ev/s vs baseline {base_eps:.0} (floor {floor:.0}): {verdict}",
+            row.listen.label()
+        );
+    }
+    if failed {
         println!(
             "wallclock: events/sec regressed more than 30% vs {path}; \
              set WALLCLOCK_NO_GATE=1 to bypass on a slower host"
@@ -378,29 +502,50 @@ fn gate(path: &str, total_eps: f64) {
     }
 }
 
-/// Minimal scanner: the first number following `"key":` in a flat JSON
-/// document (all this binary needs — no full parser in the workspace).
-fn scan_number(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\"");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
-    let end = rest
-        .find(|c: char| {
-            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
-        })
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
+/// A numeric field of a JSON object, whichever exact variant holds it.
+fn number(j: &Json, key: &str) -> Option<f64> {
+    match j.get(key)? {
+        Json::F64(v) => Some(*v),
+        Json::U64(v) => Some(*v as f64),
+        Json::I64(v) => Some(*v as f64),
+        _ => None,
+    }
+}
+
+/// The `events_per_sec` recorded for one listen kind in a baseline report.
+fn baseline_kind_eps(baseline: &Json, label: &str) -> Option<f64> {
+    let Json::Arr(rows) = baseline.get("kinds")? else {
+        return None;
+    };
+    rows.iter()
+        .find(|row| matches!(row.get("listen"), Some(Json::Str(l)) if l == label))
+        .and_then(|row| number(row, "events_per_sec"))
 }
 
 #[cfg(test)]
 mod tests {
-    use super::scan_number;
+    use super::{baseline_kind_eps, number, Json};
 
     #[test]
-    fn scans_numbers_after_keys() {
-        let doc = r#"{"a": 1, "total_events_per_sec": 123456.75, "b": [2]}"#;
-        assert_eq!(scan_number(doc, "total_events_per_sec"), Some(123456.75));
-        assert_eq!(scan_number(doc, "a"), Some(1.0));
-        assert_eq!(scan_number(doc, "missing"), None);
+    fn reads_numbers_whatever_the_variant() {
+        let doc = Json::parse(r#"{"a": 1, "b": 123456.75, "c": -2, "d": "x"}"#).unwrap();
+        assert_eq!(number(&doc, "a"), Some(1.0));
+        assert_eq!(number(&doc, "b"), Some(123456.75));
+        assert_eq!(number(&doc, "c"), Some(-2.0));
+        assert_eq!(number(&doc, "d"), None);
+        assert_eq!(number(&doc, "missing"), None);
+    }
+
+    #[test]
+    fn finds_per_kind_baselines() {
+        let doc = Json::parse(
+            r#"{"kinds": [{"listen": "stock", "events_per_sec": 100.0},
+                          {"listen": "fine", "events_per_sec": 50.5}]}"#,
+        )
+        .unwrap();
+        assert_eq!(baseline_kind_eps(&doc, "stock"), Some(100.0));
+        assert_eq!(baseline_kind_eps(&doc, "fine"), Some(50.5));
+        assert_eq!(baseline_kind_eps(&doc, "affinity"), None);
+        assert_eq!(baseline_kind_eps(&Json::obj(), "stock"), None);
     }
 }

@@ -82,15 +82,19 @@ impl DProf {
         Self::default()
     }
 
-    /// Whether recording is active.
+    /// Whether recording is active. Always `false` under the `fast`
+    /// feature: DProf recording never alters charged access latencies,
+    /// so compiling the whole collection plane out (the cache model
+    /// checks this before building reader/writer masks) changes no
+    /// simulated outcome — only host-side work and Table 3/4 content.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        cfg!(not(feature = "fast")) && self.enabled
     }
 
     /// Records the latency of one access to an instrumented field.
     pub fn record_shared_access(&mut self, ty: DataType, latency: u64) {
-        if !self.enabled {
+        if !self.is_enabled() {
             return;
         }
         let agg = self.per_type.entry(ty).or_default();
@@ -101,7 +105,7 @@ impl DProf {
     /// Folds one finished object instance's per-field reader/writer core
     /// masks into the type aggregate. Untouched instances are skipped.
     pub fn fold_instance(&mut self, ty: DataType, readers: &[u128], writers: &[u128]) {
-        if !self.enabled {
+        if !self.is_enabled() {
             return;
         }
         let fields = layout::fields(ty);
@@ -173,7 +177,8 @@ impl DProf {
     }
 }
 
-#[cfg(test)]
+// Recording behavior only exists in instrumented builds (the DProf collection plane is compiled out under `fast`).
+#[cfg(all(test, not(feature = "fast")))]
 mod tests {
     use super::*;
     use crate::layout::FieldTag;

@@ -5,16 +5,21 @@
 //! insertion order, keeping runs reproducible regardless of scheduler
 //! internals.
 //!
-//! Two backends implement that contract:
+//! Three backends implement that contract:
 //!
 //! * [`Backend::Wheel`] (the default) — the hierarchical timer wheel of
 //!   [`crate::wheel`], O(1) amortized push/pop.
 //! * [`Backend::Heap`] — the original `BinaryHeap` scheduler, kept as the
 //!   reference implementation for differential tests and perf baselines.
+//! * [`Backend::Sharded`] — per-shard timer wheels drained in epochs by
+//!   real threads ([`crate::shard`]), with a canonical `(time, seq)`
+//!   merge that keeps the popped stream bit-identical to the
+//!   single-queue backends for any shard and thread count.
 //!
-//! Both must pop byte-identical `(time, seq, event)` streams for any push
+//! All must pop byte-identical `(time, seq, event)` streams for any push
 //! sequence; the proptests at the bottom of this file hold them to it.
 
+use crate::shard::{ShardedQueue, DEFAULT_EPOCH};
 use crate::time::Cycles;
 use crate::wheel::TimerWheel;
 use std::cmp::Reverse;
@@ -27,6 +32,19 @@ pub enum Backend {
     Wheel,
     /// Binary-heap reference implementation.
     Heap,
+    /// Per-shard timer wheels advanced in deterministic epochs
+    /// ([`crate::shard::ShardedQueue`]). Pop order — and therefore every
+    /// fingerprint — is identical to the single-queue backends; the
+    /// shape only decides how the drain work is spread over real
+    /// threads.
+    Sharded {
+        /// Number of per-shard wheels (usually the simulated core
+        /// count, so shard hints map 1:1 to cores).
+        shards: u16,
+        /// Real threads draining them, including the calling thread;
+        /// `1` drains serially with no pool.
+        threads: u16,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -97,6 +115,7 @@ impl<E> HeapQueue<E> {
 enum Inner<E> {
     Wheel(TimerWheel<E>),
     Heap(HeapQueue<E>),
+    Sharded(ShardedQueue<E>),
 }
 
 /// A min-queue of `(time, event)` pairs with stable FIFO tie-breaking.
@@ -118,35 +137,46 @@ pub struct EventQueue<E> {
     inner: Inner<E>,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E: Send + 'static> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E: Send + 'static> EventQueue<E> {
     /// Creates an empty queue on the default (wheel) backend.
     #[must_use]
     pub fn new() -> Self {
         Self::with_backend(Backend::Wheel)
     }
 
-    /// Creates an empty queue on an explicit backend.
+    /// Creates an empty queue on an explicit backend. (`E: Send +
+    /// 'static` because the sharded backend may hand shards to drain
+    /// threads.)
     #[must_use]
     pub fn with_backend(backend: Backend) -> Self {
         let inner = match backend {
             Backend::Wheel => Inner::Wheel(TimerWheel::new()),
             Backend::Heap => Inner::Heap(HeapQueue::new()),
+            Backend::Sharded { shards, threads } => {
+                Inner::Sharded(ShardedQueue::new(shards, threads, DEFAULT_EPOCH))
+            }
         };
         Self { inner }
     }
+}
 
+impl<E> EventQueue<E> {
     /// Which backend this queue runs on.
     #[must_use]
     pub fn backend(&self) -> Backend {
         match &self.inner {
             Inner::Wheel(_) => Backend::Wheel,
             Inner::Heap(_) => Backend::Heap,
+            Inner::Sharded(s) => {
+                let (shards, threads) = s.config();
+                Backend::Sharded { shards, threads }
+            }
         }
     }
 
@@ -156,6 +186,20 @@ impl<E> EventQueue<E> {
         match &mut self.inner {
             Inner::Wheel(w) => w.push(at, event),
             Inner::Heap(h) => h.push(at, event),
+            Inner::Sharded(s) => s.push(at, event),
+        }
+    }
+
+    /// Schedules `event` at `at` with a destination-shard hint — the
+    /// simulated core or ring the event targets. The single-queue
+    /// backends ignore the hint; the sharded backend uses it to route
+    /// the event to that shard's wheel for drain locality. Hints never
+    /// affect pop order.
+    pub fn push_to(&mut self, dst: usize, at: Cycles, event: E) {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.push(at, event),
+            Inner::Heap(h) => h.push(at, event),
+            Inner::Sharded(s) => s.push_to(dst, at, event),
         }
     }
 
@@ -164,16 +208,19 @@ impl<E> EventQueue<E> {
         match &mut self.inner {
             Inner::Wheel(w) => w.pop(),
             Inner::Heap(h) => h.pop(),
+            Inner::Sharded(s) => s.pop(),
         }
     }
 
     /// Time of the earliest pending event, if any. Takes `&mut self`
     /// because the wheel backend may cascade buckets to locate it (the
-    /// result is cached, so a following `pop` stays O(1)).
+    /// result is cached, so a following `pop` stays O(1)), and the
+    /// sharded backend may drain the next epoch.
     pub fn peek_time(&mut self) -> Option<Cycles> {
         match &mut self.inner {
             Inner::Wheel(w) => w.peek_time(),
             Inner::Heap(h) => h.heap.peek().map(|Reverse(e)| e.key.0),
+            Inner::Sharded(s) => s.peek_time(),
         }
     }
 
@@ -183,6 +230,7 @@ impl<E> EventQueue<E> {
         match &self.inner {
             Inner::Wheel(w) => w.len(),
             Inner::Heap(h) => h.heap.len(),
+            Inner::Sharded(s) => s.len(),
         }
     }
 
@@ -193,11 +241,12 @@ impl<E> EventQueue<E> {
     }
 
     /// Empties the queue and rewinds time to zero, retaining allocations
-    /// so a pooled queue starts the next run warm.
+    /// (and any drain pool) so a pooled queue starts the next run warm.
     pub fn reset(&mut self) {
         match &mut self.inner {
             Inner::Wheel(w) => w.reset(),
             Inner::Heap(h) => h.reset(),
+            Inner::Sharded(s) => s.reset(),
         }
     }
 }
@@ -206,10 +255,18 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
-    fn both() -> [EventQueue<i32>; 2] {
+    fn both() -> [EventQueue<i32>; 4] {
         [
             EventQueue::with_backend(Backend::Wheel),
             EventQueue::with_backend(Backend::Heap),
+            EventQueue::with_backend(Backend::Sharded {
+                shards: 4,
+                threads: 1,
+            }),
+            EventQueue::with_backend(Backend::Sharded {
+                shards: 3,
+                threads: 2,
+            }),
         ]
     }
 
@@ -287,6 +344,42 @@ mod tests {
             Backend::Heap
         );
     }
+
+    #[test]
+    fn sharded_backend_round_trips_its_shape() {
+        // The runner's queue pool matches `q.backend() == cfg.evq`, so
+        // the configured shape must come back exactly — even when the
+        // thread count was clamped internally.
+        let b = Backend::Sharded {
+            shards: 6,
+            threads: 8,
+        };
+        assert_eq!(EventQueue::<()>::with_backend(b).backend(), b);
+    }
+
+    #[test]
+    fn push_hints_do_not_affect_order() {
+        let mut hinted = EventQueue::with_backend(Backend::Sharded {
+            shards: 4,
+            threads: 2,
+        });
+        let mut unhinted = EventQueue::with_backend(Backend::Sharded {
+            shards: 4,
+            threads: 2,
+        });
+        for i in 0..200u64 {
+            let t = (i * 37) % 91;
+            hinted.push_to((i % 3) as usize, t, i);
+            unhinted.push(t, i);
+        }
+        loop {
+            let a = hinted.pop();
+            assert_eq!(a, unhinted.pop());
+            if a.is_none() {
+                break;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -297,7 +390,7 @@ mod proptests {
     proptest! {
         #[test]
         fn pops_are_globally_time_ordered(times in proptest::collection::vec(0u64..1_000, 1..200)) {
-            for mut q in [EventQueue::with_backend(Backend::Wheel), EventQueue::with_backend(Backend::Heap)] {
+            for mut q in [EventQueue::with_backend(Backend::Wheel), EventQueue::with_backend(Backend::Heap), EventQueue::with_backend(Backend::Sharded { shards: 5, threads: 2 })] {
                 for (i, t) in times.iter().enumerate() {
                     q.push(*t, i);
                 }
@@ -311,7 +404,7 @@ mod proptests {
 
         #[test]
         fn all_events_come_back(times in proptest::collection::vec(0u64..1_000, 0..200)) {
-            for mut q in [EventQueue::with_backend(Backend::Wheel), EventQueue::with_backend(Backend::Heap)] {
+            for mut q in [EventQueue::with_backend(Backend::Wheel), EventQueue::with_backend(Backend::Heap), EventQueue::with_backend(Backend::Sharded { shards: 5, threads: 2 })] {
                 for (i, t) in times.iter().enumerate() {
                     q.push(*t, i);
                 }
@@ -373,6 +466,81 @@ mod proptests {
             }
             loop {
                 let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+
+        /// The parallel-determinism differential: a randomized schedule
+        /// with forced cross-shard traffic — hinted pushes that hop
+        /// shards, sub-floor pushes landing mid-epoch in *other* shards'
+        /// mailboxes (the queue-level shape of steering migrations and
+        /// hotplug re-homing), far-future cascades, and same-time ties —
+        /// must pop from a parallel sharded queue exactly as from the
+        /// serial heap reference. On divergence, proptest shrinks the op
+        /// list to a minimal repro. `simcheck --fuzz` runs the same
+        /// check end-to-end through whole-run fingerprints.
+        #[test]
+        fn sharded_parallel_matches_heap_reference(
+            shards in 1u16..9,
+            threads in 1u16..5,
+            ops in proptest::collection::vec((0u8..8, 0u64..1_000, 0usize..16), 1..300),
+        ) {
+            let mut sharded = EventQueue::with_backend(Backend::Sharded { shards, threads });
+            let mut heap = EventQueue::with_backend(Backend::Heap);
+            let mut now = 0u64;
+            let mut next_id = 0usize;
+            for (op, x, hint) in ops {
+                match op {
+                    // Pop from both; streams must match step for step.
+                    0 | 1 => {
+                        let a = sharded.pop();
+                        let b = heap.pop();
+                        prop_assert_eq!(a, b);
+                        if let Some((t, _)) = a {
+                            now = t;
+                        }
+                    }
+                    // Same-time tie at the current clock, hinted at a
+                    // rotating shard: exercises the mailbox path when an
+                    // epoch is open (t < floor) and FIFO tie-breaking
+                    // across shards either way.
+                    2 | 3 => {
+                        sharded.push_to(hint, now, next_id);
+                        heap.push(now, next_id);
+                        next_id += 1;
+                    }
+                    // Far future: forces multi-level parking, cascades,
+                    // and the escalating drain over empty stretches.
+                    4 => {
+                        let t = now + 1 + x * 77_777_777;
+                        sharded.push_to(hint, t, next_id);
+                        heap.push(t, next_id);
+                        next_id += 1;
+                    }
+                    // Near future, unhinted (round-robin routing).
+                    5 => {
+                        let t = now + x;
+                        sharded.push(t, next_id);
+                        heap.push(t, next_id);
+                        next_id += 1;
+                    }
+                    // Near future, hinted: mid-epoch cross-shard traffic
+                    // when t lands below the current floor.
+                    _ => {
+                        let t = now + x;
+                        sharded.push_to(hint, t, next_id);
+                        heap.push(t, next_id);
+                        next_id += 1;
+                    }
+                }
+                prop_assert_eq!(sharded.len(), heap.len());
+            }
+            loop {
+                let a = sharded.pop();
                 let b = heap.pop();
                 prop_assert_eq!(a, b);
                 if a.is_none() {

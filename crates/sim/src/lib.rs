@@ -10,8 +10,9 @@
 //! * [`topology`] — chip/core layout and the memory-hierarchy latencies of
 //!   Table 1 ([`topology::Machine::amd48`], [`topology::Machine::intel80`]).
 //! * [`events`] — a deterministic time-ordered event queue, selectable
-//!   between a hierarchical timer wheel ([`wheel`], the default) and a
-//!   binary-heap reference implementation.
+//!   between a hierarchical timer wheel ([`wheel`], the default), a
+//!   binary-heap reference implementation, and per-shard wheels drained
+//!   by real threads in deterministic epochs ([`shard`]).
 //! * [`fingerprint`] — order-sensitive FNV-1a hashes folded over the
 //!   executed event stream; equal configs and seeds must yield equal
 //!   fingerprints, making any lost determinism loud.
@@ -45,6 +46,7 @@ pub mod lock;
 pub mod overload;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod time;
 pub mod topology;
 pub mod wheel;
@@ -53,9 +55,10 @@ pub use core_set::{CoreSet, TaskId};
 pub use events::{Backend, EventQueue};
 pub use fastmap::FastMap;
 pub use fault::{FaultPlan, FaultStats, RetransPolicy, StallWindow};
-pub use fingerprint::Fingerprint;
+pub use fingerprint::{ActiveFingerprint, Fingerprint, NoOpFingerprint};
 pub use lock::TimelineLock;
 pub use overload::{HotplugEvent, OverloadConfig, OverloadStats, ReapPolicy, WatchdogPolicy};
 pub use rng::SimRng;
+pub use shard::ShardedQueue;
 pub use time::Cycles;
 pub use topology::{CoreId, Machine};

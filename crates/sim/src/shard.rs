@@ -1,0 +1,641 @@
+//! Sharded timer wheels: an epoch-parallel drain with a serial,
+//! canonically-ordered commit.
+//!
+//! The single-queue schedulers ([`crate::events`]) execute one global
+//! `(time, seq)` stream. [`ShardedQueue`] splits that schedule across N
+//! per-shard [`TimerWheel`]s — one per simulated core or core group —
+//! so real threads can advance the wheels concurrently, while keeping
+//! the popped stream bit-identical to the single-queue backends. The
+//! construction, in the SimBricks style of epoch-synchronized
+//! composition:
+//!
+//! * Every push is stamped with a **global sequence number**, exactly as
+//!   the single-queue backends stamp theirs, so `(time, seq)` remains a
+//!   total order over all events no matter which shard holds them.
+//! * `pop` serves events from a merged **epoch batch**. When the batch
+//!   runs dry, every shard is drained — in parallel when `threads > 1` —
+//!   up to a common horizon, the **floor**, and the union is sorted by
+//!   `(time, seq)`. Over empty stretches the horizon escalates
+//!   geometrically, so sparse regions (timeout tails, measurement gaps)
+//!   cost a handful of probes instead of one epoch per idle window.
+//! * The floor only grows, and all cursor movement happens inside the
+//!   drain, whose final bound *becomes* the floor — so every shard
+//!   cursor is always at or below it, and a push at or above the floor
+//!   is always cursor-safe for its destination wheel.
+//! * Events scheduled *below* the floor while the batch executes (the
+//!   cross-shard traffic: steering migrations, load-balancer moves,
+//!   hotplug re-homing, client wire packets) are routed into
+//!   per-`(src, dst)` **mailboxes** and folded into an overlay heap in
+//!   canonical `(time, seq)` order before the next pop; the pop then
+//!   merges batch and overlay on the same key.
+//!
+//! Because batch, overlay, and wheels partition the pending set by time
+//! (`< floor` drained or mailed, `>= floor` wheel-resident), the popped
+//! stream is the global `(time, seq)` order — precisely what the heap
+//! and wheel backends produce — for **any** shard count and **any**
+//! thread count. That is what lets parallel runs reproduce the serial
+//! golden fingerprints bit-for-bit (`tests/parallel_determinism.rs`).
+//!
+//! Shard routing is a pure locality hint: it decides which wheel holds
+//! an event, never the order events come back out. The runner hints
+//! softirq and task-run events to their simulated core's shard.
+
+use crate::time::{us, Cycles};
+use crate::wheel::TimerWheel;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrd};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// Default epoch width: 8 ms of simulated time, several thousand events
+/// per epoch at figure-6 load. Chosen empirically (`wallclock --threads`):
+/// below ~500 µs the per-epoch synchronization dominates and parallel
+/// drains run at half the serial wheel's speed; past ~10 ms most runtime
+/// pushes land below the floor and bypass the wheels through the serial
+/// overlay heap, so extra width stops buying anything.
+pub const DEFAULT_EPOCH: Cycles = us(8_000);
+
+type SharedWheel<E> = Arc<Mutex<TimerWheel<(u64, E)>>>;
+
+/// One pending event, tagged with its global sequence number and the
+/// shard it was routed to (the mailbox `src` row while it executes).
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycles,
+    seq: u64,
+    shard: u16,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Pops everything strictly before `bound` out of one shard wheel.
+fn drain_before<E>(
+    id: u16,
+    wheel: &mut TimerWheel<(u64, E)>,
+    bound: Cycles,
+    out: &mut Vec<Entry<E>>,
+) {
+    while let Some((time, (seq, event))) = wheel.pop_before(bound) {
+        out.push(Entry {
+            time,
+            seq,
+            shard: id,
+            event,
+        });
+    }
+}
+
+/// Drain-round control block shared with the worker threads.
+#[derive(Debug, Default)]
+struct Ctl {
+    round: AtomicU64,
+    bound: AtomicU64,
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// Spin briefly, then yield: drain rounds are microseconds apart, so
+/// parking workers in the kernel between them would dominate the round.
+#[inline]
+fn relax(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 256 {
+        std::hint::spin_loop();
+    } else {
+        thread::yield_now();
+    }
+}
+
+fn worker_loop<E: Send>(ctl: &Ctl, shards: &[(u16, SharedWheel<E>)], out: &Mutex<Vec<Entry<E>>>) {
+    let mut seen = 0u64;
+    loop {
+        let mut spins = 0u32;
+        let round = loop {
+            if ctl.shutdown.load(MemOrd::Acquire) {
+                return;
+            }
+            let r = ctl.round.load(MemOrd::Acquire);
+            if r != seen {
+                break r;
+            }
+            relax(&mut spins);
+        };
+        seen = round;
+        let bound = ctl.bound.load(MemOrd::Acquire);
+        {
+            let mut buf = out.lock().unwrap();
+            for (id, wheel) in shards {
+                drain_before(*id, &mut wheel.lock().unwrap(), bound, &mut buf);
+            }
+        }
+        ctl.pending.fetch_sub(1, MemOrd::AcqRel);
+    }
+}
+
+/// A persistent pool of drain workers. Worker 0 is the thread calling
+/// [`ShardedQueue::pop`]; this holds the `threads - 1` spawned ones.
+struct DrainPool<E> {
+    ctl: Arc<Ctl>,
+    bufs: Vec<Arc<Mutex<Vec<Entry<E>>>>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl<E: Send + 'static> DrainPool<E> {
+    fn spawn(assignments: Vec<Vec<(u16, SharedWheel<E>)>>) -> Self {
+        let ctl = Arc::new(Ctl::default());
+        let mut bufs = Vec::with_capacity(assignments.len());
+        let mut handles = Vec::with_capacity(assignments.len());
+        for shards in assignments {
+            let buf: Arc<Mutex<Vec<Entry<E>>>> = Arc::new(Mutex::new(Vec::new()));
+            bufs.push(Arc::clone(&buf));
+            let ctl = Arc::clone(&ctl);
+            handles.push(thread::spawn(move || worker_loop(&ctl, &shards, &buf)));
+        }
+        Self { ctl, bufs, handles }
+    }
+}
+
+impl<E> DrainPool<E> {
+    /// Kicks off one drain round up to `bound` on every worker.
+    fn begin(&self, bound: Cycles) {
+        self.ctl.bound.store(bound, MemOrd::Relaxed);
+        self.ctl.pending.store(self.handles.len(), MemOrd::Relaxed);
+        self.ctl.round.fetch_add(1, MemOrd::Release);
+    }
+
+    /// Waits for every worker to finish the round begun by `begin`.
+    fn wait(&self) {
+        let mut spins = 0u32;
+        while self.ctl.pending.load(MemOrd::Acquire) != 0 {
+            relax(&mut spins);
+        }
+    }
+}
+
+impl<E> Drop for DrainPool<E> {
+    fn drop(&mut self) {
+        self.ctl.shutdown.store(true, MemOrd::Release);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<E> fmt::Debug for DrainPool<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DrainPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+/// A sharded event queue with the [`crate::events`] ordering contract:
+/// pops come back in global `(time, push-sequence)` order, bit-identical
+/// to the single-queue backends for any `(shards, threads)`.
+pub struct ShardedQueue<E> {
+    shards: Vec<SharedWheel<E>>,
+    /// `(shards, threads)` exactly as configured, for backend
+    /// round-trips (and queue-pool matching in the runner).
+    cfg: (u16, u16),
+    epoch: Cycles,
+    /// Everything strictly below the floor has left the wheels (it lives
+    /// in `batch`, `overlay`, or `mail`); every shard cursor is at or
+    /// below it. Monotone — this is what keeps late pushes cursor-safe.
+    floor: Cycles,
+    seq: u64,
+    len: usize,
+    last_popped: Cycles,
+    /// The merged drain of the current epoch, sorted *descending* by
+    /// `(time, seq)` so the next event pops O(1) off the end.
+    batch: Vec<Entry<E>>,
+    /// Sub-floor events pushed while the batch executes, merged back in
+    /// canonical `(time, seq)` order.
+    overlay: BinaryHeap<Reverse<Entry<E>>>,
+    /// Per-`(src, dst)` mailboxes, flattened src-major. Folded into the
+    /// overlay before the next pop; `mail_used` lists the dirty ones so
+    /// the fold never scans the full N² grid.
+    mail: Vec<Vec<Entry<E>>>,
+    mail_used: Vec<usize>,
+    /// Shard of the event currently executing — the mailbox `src` row
+    /// for pushes it performs.
+    ctx: usize,
+    /// Spawned drain workers (`threads - 1` of them); `None` when the
+    /// calling thread drains everything itself.
+    pool: Option<DrainPool<E>>,
+    /// The calling thread's own share of the shards.
+    own: Vec<(u16, SharedWheel<E>)>,
+}
+
+impl<E: Send + 'static> ShardedQueue<E> {
+    /// Creates a queue with `shards` wheels drained by `threads` real
+    /// threads (the calling thread plus `threads - 1` pooled workers;
+    /// both are clamped to at least 1, and threads to at most shards).
+    /// `epoch` is the base drain horizon width in cycles
+    /// ([`DEFAULT_EPOCH`] unless tuning).
+    #[must_use]
+    pub fn new(shards: u16, threads: u16, epoch: Cycles) -> Self {
+        let cfg = (shards, threads);
+        let n = usize::from(shards.max(1));
+        let t = usize::from(threads.max(1)).min(n);
+        let wheels: Vec<SharedWheel<E>> = (0..n)
+            .map(|_| Arc::new(Mutex::new(TimerWheel::new())))
+            .collect();
+        // Shard i belongs to worker i % t; worker 0 is the caller.
+        let mut assign: Vec<Vec<(u16, SharedWheel<E>)>> = (0..t).map(|_| Vec::new()).collect();
+        for (i, w) in wheels.iter().enumerate() {
+            assign[i % t].push((i as u16, Arc::clone(w)));
+        }
+        let own = assign.remove(0);
+        let pool = (t > 1).then(|| DrainPool::spawn(assign));
+        Self {
+            shards: wheels,
+            cfg,
+            epoch: epoch.max(1),
+            floor: 0,
+            seq: 0,
+            len: 0,
+            last_popped: 0,
+            batch: Vec::new(),
+            overlay: BinaryHeap::new(),
+            mail: (0..n * n).map(|_| Vec::new()).collect(),
+            mail_used: Vec::new(),
+            ctx: 0,
+            pool,
+            own,
+        }
+    }
+}
+
+impl<E> ShardedQueue<E> {
+    /// The `(shards, threads)` pair this queue was configured with.
+    #[must_use]
+    pub fn config(&self) -> (u16, u16) {
+        self.cfg
+    }
+
+    /// Schedules `event` at simulated time `at`, distributing unhinted
+    /// pushes round-robin across the shards.
+    pub fn push(&mut self, at: Cycles, event: E) {
+        let dst = (self.seq as usize) % self.shards.len();
+        self.route(dst, at, event);
+    }
+
+    /// Schedules `event` on the shard hinted by `dst` (wrapped modulo
+    /// the shard count) — typically the simulated core the event
+    /// targets. Routing is a locality hint only: pop order is always
+    /// global `(time, seq)` and cannot be affected by hints.
+    pub fn push_to(&mut self, dst: usize, at: Cycles, event: E) {
+        self.route(dst % self.shards.len(), at, event);
+    }
+
+    fn route(&mut self, dst: usize, at: Cycles, event: E) {
+        debug_assert!(
+            at >= self.last_popped,
+            "event scheduled before the last pop"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        if at < self.floor {
+            // Lands inside the already-drained region: cross-shard (or
+            // same-shard) traffic for the executing epoch goes through
+            // the (src, dst) mailbox, never back into a wheel.
+            let idx = self.ctx * self.shards.len() + dst;
+            if self.mail[idx].is_empty() {
+                self.mail_used.push(idx);
+            }
+            self.mail[idx].push(Entry {
+                time: at,
+                seq,
+                shard: dst as u16,
+                event,
+            });
+        } else {
+            // At or above the floor: the destination cursor is at most
+            // the floor, so the wheel push is always monotone.
+            self.shards[dst].lock().unwrap().push(at, (seq, event));
+        }
+    }
+
+    /// Folds every dirty mailbox into the overlay heap. The heap orders
+    /// by `(time, seq)`, so the fold order of the mailboxes themselves
+    /// is immaterial — the merge is canonical by construction.
+    fn fold_mail(&mut self) {
+        let mut used = std::mem::take(&mut self.mail_used);
+        for &idx in &used {
+            for e in self.mail[idx].drain(..) {
+                self.overlay.push(Reverse(e));
+            }
+        }
+        used.clear();
+        self.mail_used = used;
+    }
+
+    /// Drains every shard up to a common bound — in parallel when a
+    /// pool exists — escalating the bound geometrically across empty
+    /// stretches, and leaves the union sorted descending in `batch`. On
+    /// return the floor equals the final bound. Requires wheel-resident
+    /// events (`len > 0` with batch, overlay, and mail all empty).
+    fn refill(&mut self) {
+        debug_assert!(self.batch.is_empty() && self.overlay.is_empty());
+        let mut width = self.epoch;
+        loop {
+            let bound = self.floor.saturating_add(width);
+            if let Some(pool) = &self.pool {
+                pool.begin(bound);
+                for (id, w) in &self.own {
+                    drain_before(*id, &mut w.lock().unwrap(), bound, &mut self.batch);
+                }
+                pool.wait();
+                for buf in &pool.bufs {
+                    self.batch.append(&mut buf.lock().unwrap());
+                }
+            } else {
+                for (id, w) in &self.own {
+                    drain_before(*id, &mut w.lock().unwrap(), bound, &mut self.batch);
+                }
+            }
+            self.floor = bound;
+            if !self.batch.is_empty() || bound == Cycles::MAX {
+                break;
+            }
+            width = width.saturating_mul(8);
+        }
+        self.batch
+            .sort_unstable_by_key(|e| Reverse((e.time, e.seq)));
+    }
+
+    /// Removes and returns the earliest event; global `(time, seq)`
+    /// order, ties in push order — the single-queue contract.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        if !self.mail_used.is_empty() {
+            self.fold_mail();
+        }
+        loop {
+            let from_batch = match (self.batch.last(), self.overlay.peek()) {
+                (Some(b), Some(Reverse(o))) => (b.time, b.seq) <= (o.time, o.seq),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    if self.len == 0 {
+                        return None;
+                    }
+                    self.refill();
+                    continue;
+                }
+            };
+            let e = if from_batch {
+                self.batch.pop().expect("batch checked non-empty")
+            } else {
+                let Reverse(e) = self.overlay.pop().expect("overlay checked non-empty");
+                e
+            };
+            self.len -= 1;
+            self.last_popped = e.time;
+            self.ctx = usize::from(e.shard);
+            return Some((e.time, e.event));
+        }
+    }
+
+    /// Time of the earliest pending event, if any. May drain the next
+    /// epoch to locate it (the result lands in the batch, so a
+    /// following `pop` is cheap).
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        if !self.mail_used.is_empty() {
+            self.fold_mail();
+        }
+        if self.batch.is_empty() && self.overlay.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        match (self.batch.last(), self.overlay.peek()) {
+            (Some(b), Some(Reverse(o))) => Some(b.time.min(o.time)),
+            (Some(b), None) => Some(b.time),
+            (None, Some(Reverse(o))) => Some(o.time),
+            (None, None) => None,
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Empties the queue and rewinds time to zero, retaining wheel slot
+    /// allocations and the worker pool so a pooled queue starts the
+    /// next run warm.
+    pub fn reset(&mut self) {
+        for w in &self.shards {
+            w.lock().unwrap().reset();
+        }
+        self.batch.clear();
+        self.overlay.clear();
+        for m in &mut self.mail {
+            m.clear();
+        }
+        self.mail_used.clear();
+        self.floor = 0;
+        self.seq = 0;
+        self.len = 0;
+        self.last_popped = 0;
+        self.ctx = 0;
+    }
+}
+
+impl<E> fmt::Debug for ShardedQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedQueue")
+            .field("shards", &self.cfg.0)
+            .field("threads", &self.cfg.1)
+            .field("len", &self.len)
+            .field("floor", &self.floor)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(shards: u16, threads: u16) -> ShardedQueue<u64> {
+        ShardedQueue::new(shards, threads, 100)
+    }
+
+    #[test]
+    fn orders_by_time_across_shards() {
+        for threads in [1, 2, 4] {
+            let mut s = q(4, threads);
+            s.push_to(0, 30, 3);
+            s.push_to(1, 10, 1);
+            s.push_to(2, 20, 2);
+            assert_eq!(s.pop(), Some((10, 1)));
+            assert_eq!(s.pop(), Some((20, 2)));
+            assert_eq!(s.pop(), Some((30, 3)));
+            assert_eq!(s.pop(), None);
+        }
+    }
+
+    #[test]
+    fn ties_resolve_in_push_order_across_shards() {
+        // 100 same-time events sprayed over every shard: FIFO by global
+        // seq, exactly like the single-queue backends.
+        for threads in [1, 3] {
+            let mut s = q(5, threads);
+            for i in 0..100 {
+                s.push_to(i as usize, 7, i);
+            }
+            for i in 0..100 {
+                assert_eq!(s.pop(), Some((7, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_floor_pushes_take_the_mailbox_and_stay_ordered() {
+        let mut s = q(3, 1);
+        for t in [10u64, 20, 30, 40] {
+            s.push(t, t);
+        }
+        assert_eq!(s.pop(), Some((10, 10)));
+        // The floor is now >= 110 (first epoch bound); these land below
+        // it, from the context of the event at t=10, into mailboxes —
+        // including a same-time tie that must pop *after* the wheel
+        // event with the smaller seq.
+        s.push_to(2, 20, 21);
+        s.push_to(0, 15, 15);
+        assert_eq!(s.pop(), Some((15, 15)));
+        assert_eq!(s.pop(), Some((20, 20)));
+        assert_eq!(s.pop(), Some((20, 21)));
+        assert_eq!(s.pop(), Some((30, 30)));
+        assert_eq!(s.pop(), Some((40, 40)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn chained_mailbox_pushes_within_one_epoch() {
+        // An event pushed into the current epoch, popped, whose handler
+        // pushes another sub-floor event, repeatedly: the overlay must
+        // keep serving them in (time, seq) order.
+        let mut s = q(2, 1);
+        s.push(5, 0);
+        assert_eq!(s.pop(), Some((5, 0)));
+        for i in 1..20u64 {
+            s.push_to(i as usize, 5 + i, i);
+            assert_eq!(s.pop(), Some((5 + i, i)));
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sparse_gaps_escalate_without_losing_events() {
+        let mut s = q(4, 2);
+        // Clusters separated by gaps far wider than the epoch.
+        let mut expect = Vec::new();
+        for cluster in 0..4u64 {
+            let base = cluster * 50_000_000;
+            for i in 0..20u64 {
+                let t = base + i * 7;
+                s.push_to((i % 4) as usize, t, t);
+                expect.push(t);
+            }
+        }
+        for t in expect {
+            assert_eq!(s.pop().map(|(pt, _)| pt), Some(t));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut s = q(2, 1);
+        s.push(7, 1);
+        assert_eq!(s.peek_time(), Some(7));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pop(), Some((7, 1)));
+        assert_eq!(s.peek_time(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn reset_reuses_queue_and_pool() {
+        let mut s = q(3, 2);
+        s.push(1 << 40, 1);
+        s.push(9, 2);
+        assert_eq!(s.pop(), Some((9, 2)));
+        s.reset();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+        s.push(3, 7);
+        s.push_to(1, 3, 8);
+        assert_eq!(s.pop(), Some((3, 7)));
+        assert_eq!(s.pop(), Some((3, 8)));
+    }
+
+    #[test]
+    fn config_round_trips_unclamped() {
+        // The runner's queue pool matches on the configured backend, so
+        // clamping (threads > shards) must not leak into config().
+        let s: ShardedQueue<u32> = ShardedQueue::new(2, 8, DEFAULT_EPOCH);
+        assert_eq!(s.config(), (2, 8));
+    }
+
+    #[test]
+    fn thread_counts_agree_with_each_other() {
+        // One fixed pseudo-random schedule, replayed at several
+        // (shards, threads) shapes: identical pop streams everywhere.
+        fn stream(shards: u16, threads: u16) -> Vec<(Cycles, u64)> {
+            let mut s = ShardedQueue::new(shards, threads, DEFAULT_EPOCH);
+            let mut out = Vec::new();
+            let mut x = 0x243f_6a88_85a3_08d3u64; // deterministic LCG
+            let mut now = 0u64;
+            for i in 0..5_000u64 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let dt = x >> 52; // 0..4096 cycles ahead
+                s.push_to((x & 0xff) as usize, now + dt, i);
+                if x & 0x3 == 0 {
+                    if let Some((t, e)) = s.pop() {
+                        now = t;
+                        out.push((t, e));
+                    }
+                }
+            }
+            while let Some(p) = s.pop() {
+                out.push(p);
+            }
+            out
+        }
+        let reference = stream(1, 1);
+        for (sh, th) in [(4, 1), (4, 4), (7, 2), (16, 8), (3, 16)] {
+            assert_eq!(stream(sh, th), reference, "shape ({sh}, {th})");
+        }
+    }
+}

@@ -186,6 +186,36 @@ impl<E> TimerWheel<E> {
         self.ready.front().map(|e| e.time)
     }
 
+    /// Like [`Self::pop`], but only delivers events strictly before
+    /// `bound`, and — crucially for the sharded scheduler — never
+    /// advances the cursor to or past `bound` while searching. After a
+    /// `None` return, pushes at any time `>= bound` are therefore still
+    /// valid (the cursor monotonicity the wheel relies on is intact).
+    ///
+    /// A `bound` of `Cycles::MAX` is treated as "no bound" so the final
+    /// rung of an escalating drain cannot strand an event parked at the
+    /// maximum representable time.
+    pub fn pop_before(&mut self, bound: Cycles) -> Option<(Cycles, E)> {
+        self.peek_time_before(bound)?;
+        let e = self.ready.pop_front().expect("peek filled the ready queue");
+        self.len -= 1;
+        Some((e.time, e.event))
+    }
+
+    /// Time of the earliest pending event strictly before `bound`, if
+    /// any, with the same cursor guarantee as [`Self::pop_before`].
+    pub fn peek_time_before(&mut self, bound: Cycles) -> Option<Cycles> {
+        let bound = (bound != Cycles::MAX).then_some(bound);
+        if self.ready.is_empty() && (self.len == 0 || !self.fill_ready_bounded(bound)) {
+            return None;
+        }
+        let t = self.ready.front().map(|e| e.time)?;
+        match bound {
+            Some(b) if t >= b => None,
+            _ => Some(t),
+        }
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -259,6 +289,15 @@ impl<E> TimerWheel<E> {
     /// Advances the cursor to the next pending timestamp and drains that
     /// level-0 bucket into `ready`. Requires `len > 0`.
     fn fill_ready(&mut self) {
+        let filled = self.fill_ready_bounded(None);
+        debug_assert!(filled, "len > 0 but nothing delivered");
+    }
+
+    /// [`Self::fill_ready`], stopping short of `bound`: returns `false`
+    /// — without having moved the cursor to or past `bound` — when the
+    /// earliest pending event is at `bound` or later. Requires `len > 0`
+    /// and an empty ready queue.
+    fn fill_ready_bounded(&mut self, bound: Option<Cycles>) -> bool {
         loop {
             // 1. Cascade any due overflow buckets: at each level, the slot
             //    the cursor currently points into may have become reachable
@@ -274,6 +313,9 @@ impl<E> TimerWheel<E> {
             //    distance is the time delta.
             let c0 = (self.cursor & MASK) as usize;
             if let Some(d) = next_occupied(&self.levels[0].occ, c0) {
+                if bound.is_some_and(|b| self.cursor + d as u64 >= b) {
+                    return false;
+                }
                 self.cursor += d as u64;
                 let slot = (c0 + d) & (SLOTS - 1);
                 clear_bit(&mut self.levels[0].occ, slot);
@@ -284,7 +326,7 @@ impl<E> TimerWheel<E> {
                 debug_assert!(bucket.iter().all(|e| e.time == self.cursor));
                 self.ready.extend(bucket.drain(..));
                 self.levels[0].slots[slot] = bucket;
-                return;
+                return true;
             }
             // 3. Nothing this window: jump to the earliest occupied bucket
             //    across the upper levels and cascade it. A coarser level
@@ -303,6 +345,11 @@ impl<E> TimerWheel<E> {
                 }
             }
             let (start, level, slot) = best.expect("len > 0 but no occupied bucket");
+            if bound.is_some_and(|b| start >= b) {
+                // Every pending event is at `start` or later; stop with
+                // the cursor still short of `bound`.
+                return false;
+            }
             // No event lives in [cursor, start), so the jump is safe.
             self.cursor = start;
             self.cascade(level, slot);
@@ -532,6 +579,78 @@ mod tests {
         w.push(210, "same-window");
         assert_eq!(w.pop(), Some((210, "same-window")));
         assert_eq!(w.pop(), Some((300, "next-window")));
+    }
+
+    #[test]
+    fn pop_before_respects_the_bound() {
+        let mut w = TimerWheel::new();
+        w.push(10, 'a');
+        w.push(99, 'b');
+        w.push(100, 'c');
+        w.push(5_000_000, 'd');
+        assert_eq!(w.pop_before(100), Some((10, 'a')));
+        assert_eq!(w.pop_before(100), Some((99, 'b')));
+        assert_eq!(w.pop_before(100), None);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop_before(101), Some((100, 'c')));
+        assert_eq!(w.pop_before(101), None);
+        assert_eq!(w.pop(), Some((5_000_000, 'd')));
+    }
+
+    #[test]
+    fn failed_pop_before_leaves_pushes_at_the_bound_valid() {
+        // The sharded scheduler's cursor-safety contract: after
+        // `pop_before(bound)` returns None, a push at exactly `bound`
+        // must neither assert nor be clamped forward — even when the
+        // next pending event is far past the bound (the search must not
+        // park the cursor on it).
+        let mut w = TimerWheel::new();
+        w.push(10, 0);
+        w.push(1 << 30, 1);
+        assert_eq!(w.pop_before(1_000), Some((10, 0)));
+        assert_eq!(w.pop_before(1_000), None);
+        w.push(1_000, 2); // would trip the cursor debug_assert if overshot
+        w.push(1_500, 3);
+        assert_eq!(w.pop_before(2_000), Some((1_000, 2)));
+        assert_eq!(w.pop_before(2_000), Some((1_500, 3)));
+        assert_eq!(w.pop_before(2_000), None);
+        assert_eq!(w.pop(), Some((1 << 30, 1)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn peek_before_is_nondestructive() {
+        let mut w = TimerWheel::new();
+        w.push(50, ());
+        assert_eq!(w.peek_time_before(50), None);
+        assert_eq!(w.peek_time_before(51), Some(50));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop(), Some((50, ())));
+    }
+
+    #[test]
+    fn pop_before_max_is_unbounded() {
+        // Cycles::MAX means "no bound", so an event parked at the last
+        // representable tick still drains on the final escalation rung.
+        let mut w = TimerWheel::new();
+        w.push(Cycles::MAX, 1);
+        assert_eq!(w.pop_before(Cycles::MAX), Some((Cycles::MAX, 1)));
+    }
+
+    #[test]
+    fn bounded_and_unbounded_pops_interleave() {
+        let mut w = TimerWheel::new();
+        for t in [3u64, 700, 70_000, 7_000_000] {
+            w.push(t, t);
+        }
+        assert_eq!(w.pop_before(700), Some((3, 3)));
+        assert_eq!(w.pop_before(700), None);
+        assert_eq!(w.pop(), Some((700, 700)));
+        assert_eq!(w.peek_time_before(70_001), Some(70_000));
+        assert_eq!(w.pop_before(u64::MAX), Some((70_000, 70_000)));
+        assert_eq!(w.pop_before(7_000_000), None);
+        assert_eq!(w.pop_before(7_000_001), Some((7_000_000, 7_000_000)));
+        assert!(w.is_empty());
     }
 
     #[test]

@@ -3,6 +3,10 @@
 //! with the right violation. A law that cannot fail is not a law — these
 //! tests keep [`app::RunAudit::violations`] honest as counters are added.
 
+// Fingerprints and audit violations only exist in instrumented builds;
+// `tests/feature_matrix.rs` covers the `fast` side of the matrix.
+#![cfg(not(feature = "fast"))]
+
 use std::sync::OnceLock;
 
 use affinity_accept_repro::prelude::*;

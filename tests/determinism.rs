@@ -2,6 +2,10 @@
 //! event streams (same fingerprint) and identical counters, and every
 //! run must satisfy the conservation audits.
 
+// Fingerprints and audit violations only exist in instrumented builds;
+// `tests/feature_matrix.rs` covers the `fast` side of the matrix.
+#![cfg(not(feature = "fast"))]
+
 use affinity_accept_repro::prelude::*;
 use sim::time::ms;
 

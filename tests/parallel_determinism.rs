@@ -1,0 +1,150 @@
+//! Parallel-vs-serial differential tests: the sharded event queue drained
+//! by real worker threads must replay the exact event stream of the serial
+//! schedulers, for every listen kind and every thread count.
+//!
+//! The sharded queue assigns the global sequence number at push time and
+//! merges shard drains in canonical `(time, seq)` order, so its pop order
+//! is *defined* to equal the single-queue order — these tests are the
+//! enforcement. The golden table is a copy of the one in
+//! `tests/determinism.rs` (integration tests cannot import each other);
+//! if one changes, change both.
+
+use affinity_accept_repro::prelude::*;
+use sim::events::Backend;
+use sim::time::ms;
+
+fn quick(listen: ListenKind, cores: usize, rate: f64) -> RunConfig {
+    let mut cfg = RunConfig::new(
+        Machine::amd48(),
+        cores,
+        listen,
+        ServerKind::apache(),
+        Workload::base(),
+        rate,
+    );
+    cfg.warmup = ms(200);
+    cfg.measure = ms(200);
+    cfg.tracked_files = 200;
+    cfg
+}
+
+/// Same values as `tests/determinism.rs::GOLDEN` — the serial heap-scheduler
+/// fingerprints every backend must reproduce.
+#[cfg(not(feature = "fast"))]
+const GOLDEN: [(ListenKind, u64, u64); 5] = [
+    (ListenKind::Stock, 0x6b30b1fe5417a104, 7262),
+    (ListenKind::Fine, 0xcac2e2fd90382a59, 7262),
+    (ListenKind::Affinity, 0x5fc6bb89978ee39c, 7266),
+    (ListenKind::Twenty, 0x3832bc3dab6a43a7, 7271),
+    (ListenKind::BusyPoll, 0x41ddb9fb3487a26e, 7271),
+];
+
+fn run_with(listen: ListenKind, evq: Backend) -> RunResult {
+    let mut cfg = quick(listen, 8, 6_000.0);
+    cfg.evq = evq;
+    Runner::new(cfg).run()
+}
+
+fn assert_same(listen: ListenKind, what: &str, serial: &RunResult, parallel: &RunResult) {
+    assert_eq!(
+        serial.fingerprint, parallel.fingerprint,
+        "{listen:?} {what}: fingerprint diverged: {:#018x} vs {:#018x}",
+        parallel.fingerprint, serial.fingerprint
+    );
+    assert_eq!(
+        serial.events_executed, parallel.events_executed,
+        "{listen:?} {what}: events_executed"
+    );
+    assert_eq!(serial.served, parallel.served, "{listen:?} {what}: served");
+    assert_eq!(
+        serial.timeouts, parallel.timeouts,
+        "{listen:?} {what}: timeouts"
+    );
+    assert_eq!(
+        serial.migrations, parallel.migrations,
+        "{listen:?} {what}: migrations"
+    );
+    assert_eq!(
+        serial.drops_overflow, parallel.drops_overflow,
+        "{listen:?} {what}: drops_overflow"
+    );
+    assert_eq!(
+        serial.drops_nic, parallel.drops_nic,
+        "{listen:?} {what}: drops_nic"
+    );
+    assert_eq!(serial.audit, parallel.audit, "{listen:?} {what}: audit");
+}
+
+#[test]
+fn parallel_replays_match_serial_for_every_kind_and_thread_count() {
+    for listen in ListenKind::ALL {
+        let serial = run_with(listen, Backend::Wheel);
+        for threads in [2, 4, 8] {
+            let parallel = run_with(listen, Backend::Sharded { shards: 8, threads });
+            assert_same(listen, &format!("threads={threads}"), &serial, &parallel);
+        }
+    }
+}
+
+#[cfg(not(feature = "fast"))]
+#[test]
+fn parallel_replays_match_the_serial_goldens() {
+    for (listen, fp, served) in GOLDEN {
+        let r = run_with(
+            listen,
+            Backend::Sharded {
+                shards: 8,
+                threads: 4,
+            },
+        );
+        assert_eq!(
+            r.fingerprint, fp,
+            "{listen:?}: parallel fingerprint {:#018x} != serial golden {fp:#018x}",
+            r.fingerprint
+        );
+        assert_eq!(r.served, served, "{listen:?}: served diverged from golden");
+    }
+}
+
+#[test]
+fn shard_count_does_not_affect_the_schedule() {
+    let listen = ListenKind::Affinity;
+    let serial = run_with(listen, Backend::Wheel);
+    for shards in [1, 3, 8, 48] {
+        let parallel = run_with(listen, Backend::Sharded { shards, threads: 2 });
+        assert_same(listen, &format!("shards={shards}"), &serial, &parallel);
+    }
+}
+
+#[test]
+fn parallel_runs_replay_each_other() {
+    // Thread scheduling on the host must never leak into the simulation:
+    // two parallel runs of the same config are bit-identical.
+    let evq = Backend::Sharded {
+        shards: 8,
+        threads: 8,
+    };
+    let a = run_with(ListenKind::Twenty, evq);
+    let b = run_with(ListenKind::Twenty, evq);
+    assert_same(ListenKind::Twenty, "replay", &a, &b);
+}
+
+#[test]
+fn parallel_audits_stay_clean_under_load() {
+    // Overload runs exercise drop/timeout/cookie paths; the conservation
+    // laws must hold when those events cross shard boundaries too.
+    for (cores, rate) in [(4, 12_000.0), (2, 80_000.0)] {
+        let mut cfg = quick(ListenKind::Affinity, cores, rate);
+        cfg.evq = Backend::Sharded {
+            shards: cores as u16,
+            threads: 2,
+        };
+        let r = Runner::new(cfg).run();
+        let v = r.audit.violations();
+        assert!(
+            v.is_empty(),
+            "cores={cores} rate={rate}: audit violations:\n  {}",
+            v.join("\n  ")
+        );
+    }
+}
