@@ -20,6 +20,8 @@
 //!   around a serial one).
 //! * [`evpool`] — packet interning and lazy timer cancellation keeping
 //!   the runner's event entries small.
+//! * [`partition`] — conflict classification of the dispatched event
+//!   stream and the wave planner behind `RunResult::partition_stats`.
 //! * [`runner`] — the discrete-event loop tying the machine, NIC, TCP
 //!   stack, listen socket, servers, and clients together.
 //! * [`search`] — the offered-rate saturation search.
@@ -32,12 +34,14 @@ pub mod batch;
 pub mod client;
 pub mod evpool;
 pub mod files;
+pub mod partition;
 pub mod runner;
 pub mod search;
 pub mod server;
 pub mod workload;
 
 pub use audit::RunAudit;
+pub use partition::{Partition, PartitionStats};
 pub use runner::{ListenKind, RunConfig, RunResult, Runner};
 pub use search::{find_saturation, find_saturation_budgeted};
 pub use server::ServerKind;

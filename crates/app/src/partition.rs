@@ -1,0 +1,289 @@
+//! Conflict partitioning of the dispatched event stream.
+//!
+//! Every event the runner executes touches a bounded, statically knowable
+//! slice of simulator state. Classifying each dispatched event by that
+//! write-set partitions the canonical `(time, seq)` stream into
+//! *waves* — maximal stretches of partition-confined events between
+//! global serialization points — and yields an honest account of how
+//! much of a run could execute concurrently without changing a single
+//! bit of the fingerprint:
+//!
+//! * [`Partition::Core`] — the write-set is confined to one core's lane:
+//!   its ring, its run queue, its accept queue, its busy horizon. Two
+//!   core events on *different* lanes inside one wave commute.
+//! * [`Partition::Client`] — the write-set is the client fleet (one
+//!   shared structure: arrivals, thinks, timeouts, client-side packet
+//!   receipt). Client events form their own single lane.
+//! * [`Partition::Global`] — the write-set spans lanes (load balancing,
+//!   hotplug, the measurement switch, watchdog scans) or draws from an
+//!   order-sensitive RNG stream. Each one is a serialization point: the
+//!   wave before it must fully retire first.
+//!
+//! Classification feeds **statistics only**. Execution stays canonical
+//! serial order on every backend, which is exactly why the goldens hold
+//! at any `(shards, threads)` shape; the planner reports what a
+//! conflict-respecting parallel executor *could* have overlapped. The
+//! numbers are backend-independent — they depend only on the dispatch
+//! stream, which every backend reproduces bit-identically — so the
+//! differential suites compare them across backends, thread counts, and
+//! instrumentation modes.
+//!
+//! An event is *conflicted* when, while it ran, it scheduled work for a
+//! different partition (a softirq waking another core's acceptor, a
+//! client arrival materializing a wire packet). Conflicted events would
+//! need cross-lane ordering in a real parallel executor, so they are
+//! subtracted from the parallel fraction: `f = (core + client −
+//! conflicted) / total`, the Amdahl input DESIGN.md §11 tabulates.
+
+/// The state slice one dispatched event writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Confined to core `c`'s lane (ring, run queue, accept queue).
+    Core(u16),
+    /// Confined to the client fleet.
+    Client,
+    /// Cross-lane or order-sensitive: a serialization point.
+    Global,
+}
+
+/// What the wave planner measured over one run's dispatch stream.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionStats {
+    /// Events whose write-set stayed on one core lane.
+    pub core_events: u64,
+    /// Events whose write-set stayed in the client fleet.
+    pub client_events: u64,
+    /// Serialization-point events (cross-lane or RNG-ordered).
+    pub global_events: u64,
+    /// Core/client events that scheduled work for another partition
+    /// while running (counted once per event, not per push).
+    pub conflicted_events: u64,
+    /// Serialization points hit (one per global event).
+    pub serialization_points: u64,
+    /// Waves closed: maximal non-empty partitioned stretches between
+    /// serialization points.
+    pub waves: u64,
+    /// Largest single wave, in events.
+    pub max_wave: u64,
+    /// Critical-path length under per-lane serial execution: the sum
+    /// over waves of the deepest lane, plus one per global event. The
+    /// ideal-parallel speedup bound is `total / critical_path`.
+    pub critical_path_events: u64,
+}
+
+impl PartitionStats {
+    /// Total classified events.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.core_events + self.client_events + self.global_events
+    }
+
+    /// Amdahl parallel fraction: partition-confined, conflict-free
+    /// events over the total. Zero on an empty run.
+    #[must_use]
+    pub fn parallel_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let par = (self.core_events + self.client_events).saturating_sub(self.conflicted_events);
+        par as f64 / total as f64
+    }
+
+    /// Ideal-executor speedup bound: total events over the critical
+    /// path (1.0 on an empty run — no speedup from nothing).
+    #[must_use]
+    pub fn speedup_bound(&self) -> f64 {
+        if self.critical_path_events == 0 {
+            return 1.0;
+        }
+        self.total() as f64 / self.critical_path_events as f64
+    }
+}
+
+/// Streaming wave planner: feed it each dispatched event's partition in
+/// canonical order; it accumulates [`PartitionStats`] in O(1) per event.
+#[derive(Debug)]
+pub struct WavePlanner {
+    stats: PartitionStats,
+    /// Depth of each core lane within the current wave.
+    lane: Vec<u64>,
+    /// Depth of the client lane within the current wave.
+    client_lane: u64,
+    /// Events in the current (still-open) wave.
+    wave_events: u64,
+    /// Core lanes touched this wave (sparse reset on wave close).
+    touched: Vec<u16>,
+}
+
+impl WavePlanner {
+    /// A planner for a machine with `cores` core lanes.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            stats: PartitionStats::default(),
+            lane: vec![0; cores],
+            client_lane: 0,
+            wave_events: 0,
+            touched: Vec::new(),
+        }
+    }
+
+    /// Records one dispatched event. Must be called in canonical
+    /// dispatch order — the same order the fingerprint folds.
+    pub fn note(&mut self, p: Partition) {
+        match p {
+            Partition::Core(c) => {
+                self.stats.core_events += 1;
+                let i = usize::from(c) % self.lane.len().max(1);
+                if let Some(d) = self.lane.get_mut(i) {
+                    if *d == 0 {
+                        self.touched.push(i as u16);
+                    }
+                    *d += 1;
+                }
+                self.wave_events += 1;
+            }
+            Partition::Client => {
+                self.stats.client_events += 1;
+                self.client_lane += 1;
+                self.wave_events += 1;
+            }
+            Partition::Global => {
+                self.stats.global_events += 1;
+                self.stats.serialization_points += 1;
+                self.close_wave();
+                // The global event itself runs alone on the path.
+                self.stats.critical_path_events += 1;
+            }
+        }
+    }
+
+    /// Marks the event most recently fed to [`WavePlanner::note`] as
+    /// conflicted (it pushed work for another partition while running).
+    pub fn conflict(&mut self) {
+        self.stats.conflicted_events += 1;
+    }
+
+    /// Closes the final wave and returns the totals. The planner resets
+    /// to an empty state and may be reused.
+    pub fn finish(&mut self) -> PartitionStats {
+        self.close_wave();
+        let stats = self.stats;
+        self.stats = PartitionStats::default();
+        stats
+    }
+
+    fn close_wave(&mut self) {
+        if self.wave_events == 0 {
+            return;
+        }
+        self.stats.waves += 1;
+        self.stats.max_wave = self.stats.max_wave.max(self.wave_events);
+        let mut deepest = self.client_lane;
+        for &i in &self.touched {
+            let d = &mut self.lane[usize::from(i)];
+            deepest = deepest.max(*d);
+            *d = 0;
+        }
+        self.touched.clear();
+        self.client_lane = 0;
+        self.wave_events = 0;
+        self.stats.critical_path_events += deepest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_wave_counts_the_deepest_lane() {
+        let mut p = WavePlanner::new(4);
+        // Three events on core 0, one on core 2, two client events.
+        for _ in 0..3 {
+            p.note(Partition::Core(0));
+        }
+        p.note(Partition::Core(2));
+        p.note(Partition::Client);
+        p.note(Partition::Client);
+        let s = p.finish();
+        assert_eq!(s.core_events, 4);
+        assert_eq!(s.client_events, 2);
+        assert_eq!(s.global_events, 0);
+        assert_eq!(s.waves, 1);
+        assert_eq!(s.max_wave, 6);
+        assert_eq!(s.critical_path_events, 3); // core 0's stretch
+        assert_eq!(s.total(), 6);
+        assert!((s.speedup_bound() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn globals_cut_waves_and_ride_the_path() {
+        let mut p = WavePlanner::new(2);
+        p.note(Partition::Core(0));
+        p.note(Partition::Core(1));
+        p.note(Partition::Global);
+        p.note(Partition::Core(1));
+        p.note(Partition::Global); // back-to-back globals: no empty wave
+        p.note(Partition::Global);
+        let s = p.finish();
+        assert_eq!(s.waves, 2);
+        assert_eq!(s.serialization_points, 3);
+        assert_eq!(s.max_wave, 2);
+        // Path: wave 1 depth 1, +1 global, wave 2 depth 1, +2 globals.
+        assert_eq!(s.critical_path_events, 5);
+    }
+
+    #[test]
+    fn conflicts_shrink_the_parallel_fraction() {
+        let mut p = WavePlanner::new(2);
+        for _ in 0..8 {
+            p.note(Partition::Core(0));
+        }
+        p.conflict();
+        p.conflict();
+        p.note(Partition::Global);
+        p.note(Partition::Client);
+        let s = p.finish();
+        assert_eq!(s.conflicted_events, 2);
+        assert_eq!(s.total(), 10);
+        // (8 core + 1 client − 2 conflicted) / 10
+        assert!((s.parallel_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_inert() {
+        let mut p = WavePlanner::new(8);
+        let s = p.finish();
+        assert_eq!(s, PartitionStats::default());
+        assert_eq!(s.parallel_fraction(), 0.0);
+        assert_eq!(s.speedup_bound(), 1.0);
+    }
+
+    #[test]
+    fn planner_is_reusable_after_finish() {
+        let mut p = WavePlanner::new(2);
+        p.note(Partition::Core(1));
+        let first = p.finish();
+        assert_eq!(first.core_events, 1);
+        p.note(Partition::Client);
+        p.note(Partition::Client);
+        let second = p.finish();
+        assert_eq!(second.core_events, 0);
+        assert_eq!(second.client_events, 2);
+        assert_eq!(second.critical_path_events, 2);
+    }
+
+    #[test]
+    fn out_of_range_lanes_fold_into_real_ones() {
+        // Classification may hand the planner a core id beyond the
+        // active count (a redirect target mid-hotplug); depth lands on
+        // a real lane instead of panicking.
+        let mut p = WavePlanner::new(2);
+        p.note(Partition::Core(7));
+        let s = p.finish();
+        assert_eq!(s.core_events, 1);
+        assert_eq!(s.critical_path_events, 1);
+    }
+}

@@ -18,6 +18,7 @@ use crate::audit::{
 use crate::batch::BatchJob;
 use crate::client::{CConnId, Clients, SynRetrans};
 use crate::evpool::{LazyTimers, PktSlab};
+use crate::partition::{Partition, PartitionStats, WavePlanner};
 use crate::server::{STask, ServerKind, TaskRole};
 use crate::workload::Workload;
 use affinity_accept::{
@@ -198,6 +199,13 @@ pub struct RunConfig {
     /// collection. Pure accounting — no events and no RNG draws, so
     /// enabling it never perturbs fingerprints.
     pub timeline_bucket: Cycles,
+    /// Fuzz seed for the partition classifier: when set, a dedicated RNG
+    /// stream randomly flips each dispatched event's partition before it
+    /// reaches the wave planner. Classification feeds statistics only,
+    /// so any seed must leave the fingerprint and every end-state metric
+    /// bit-identical — the differential suite proves it. `None` (the
+    /// default) classifies honestly.
+    pub partition_fuzz: Option<u64>,
 }
 
 impl RunConfig {
@@ -238,6 +246,7 @@ impl RunConfig {
             overload: OverloadConfig::none(),
             hotplug: Vec::new(),
             timeline_bucket: 0,
+            partition_fuzz: None,
         }
     }
 }
@@ -301,6 +310,13 @@ pub struct RunResult {
     /// Whole-run client-abandoned established connections owned by a down
     /// core (expected casualties of a kill).
     pub timeouts_dead_owner: u64,
+    /// Conflict-partition accounting over the whole dispatched stream:
+    /// how many events were confined to one core lane or the client
+    /// fleet, how many forced serialization, and the critical-path bound
+    /// an ideal conflict-respecting parallel executor faces (DESIGN.md
+    /// §11). Backend-independent: every `(shards, threads)` shape and
+    /// both instrumentation modes report identical numbers.
+    pub partition_stats: PartitionStats,
     /// The kernel, for DProf and further inspection.
     pub kernel: Kernel,
 }
@@ -381,6 +397,54 @@ struct ConnApp {
     task: u32,
 }
 
+/// The mutable scheduling state owned by exactly one core — the runner's
+/// side of the [`Partition::Core`] write-set contract. Every field here
+/// is only ever read or written while handling an event on this core's
+/// lane (or at a global serialization point such as hotplug), so a
+/// conflict-respecting executor could hand each `CoreState` to a
+/// different worker inside a wave without synchronization.
+#[derive(Debug)]
+struct CoreState {
+    /// Tasks sleeping in accept/poll on this core (a stack).
+    sleep_acceptors: Vec<u32>,
+    /// Idle Apache workers parked on this core.
+    idle_workers: Vec<u32>,
+    /// The core's Apache acceptor task (`u32::MAX` when lighttpd).
+    acceptor: u32,
+    /// Workers spawned so far (for the lazy-growth cap).
+    workers_spawned: usize,
+    /// Adaptive shedding engaged (answering SYNs with cookies until the
+    /// queue drains below the low watermark).
+    shed: bool,
+    /// Core offline (explicit hotplug or watchdog).
+    down: bool,
+    /// Whether the watchdog (not the schedule) took the core down; only
+    /// those cores revive automatically when their stall clears.
+    watchdog_marked: bool,
+    /// Ring-core → executing-core redirection (identity while up). A
+    /// dead core's ring keeps receiving already-steered packets; its
+    /// softirq work runs on the redirect target.
+    redirect: u16,
+    /// (busy_cycles, wall) seen at the last idle-scavenging hog poll.
+    hog_seen: (Cycles, Cycles),
+}
+
+impl CoreState {
+    fn new(core: u16) -> Self {
+        Self {
+            sleep_acceptors: Vec::new(),
+            idle_workers: Vec::new(),
+            acceptor: u32::MAX,
+            workers_spawned: 0,
+            shed: false,
+            down: false,
+            watchdog_marked: false,
+            redirect: core,
+            hog_seen: (0, 0),
+        }
+    }
+}
+
 /// The assembled simulation. Use [`Runner::run`].
 pub struct Runner {
     cfg: RunConfig,
@@ -396,19 +460,12 @@ pub struct Runner {
     listen: Box<dyn ListenSocket>,
     clients: Clients,
     tasks: Vec<STask>,
-    /// Per-core stack of tasks sleeping in accept/poll.
-    sleep_acceptors: Vec<Vec<u32>>,
-    /// Per-core idle Apache workers.
-    idle_workers: Vec<Vec<u32>>,
-    /// Per-core Apache acceptor task index.
-    acceptors: Vec<u32>,
-    /// Per-core live worker count (for the lazy-growth cap).
-    workers_spawned: Vec<usize>,
+    /// The per-core partition of the runner's mutable scheduling state —
+    /// one lane per active core (see [`CoreState`]).
+    lanes: Vec<CoreState>,
     conn_app: FastMap<ConnId, ConnApp>,
     twenty: Option<TwentyPolicy>,
     hog: Option<BatchJob>,
-    /// Per-core (busy_cycles, wall) seen at the last idle-scavenging poll.
-    hog_seen: Vec<(Cycles, Cycles)>,
     softirq_pending: Vec<bool>,
     rng: SimRng,
     /// Dedicated RNG stream for fault-plane decisions; never touched when
@@ -422,21 +479,19 @@ pub struct Runner {
     /// leave on validation, on supersession by a normal handshake, or
     /// into `cookies_expired` at end of run.
     cookie_pending: FastMap<nic::FlowTuple, Cycles>,
-    /// Per-core adaptive-shedding state (true = answering SYNs with
-    /// cookies until the queue drains below the low watermark).
-    shed: Vec<bool>,
     /// Per-core backlog cap the shedding watermarks scale against.
     shed_cap: f64,
-    /// Per-core offline flag (explicit hotplug or watchdog).
-    core_down: Vec<bool>,
-    /// Whether the watchdog (not the schedule) took the core down; only
-    /// those cores are revived automatically when their stall clears.
-    watchdog_marked: Vec<bool>,
-    /// Ring-core → executing-core redirection (identity while every core
-    /// is up). A dead core's ring keeps receiving already-steered
-    /// packets; its softirq work runs on the redirect target so
-    /// established connections keep being served.
-    redirect: Vec<u16>,
+    /// Streaming conflict-partition accounting over the dispatch stream.
+    planner: WavePlanner,
+    /// Partition of the event currently being handled (`Global` outside
+    /// a handler, so constructor seeding never counts as a conflict).
+    cur_part: Partition,
+    /// Dedicated RNG stream for [`RunConfig::partition_fuzz`]; never
+    /// touched when fuzzing is off, so the main stream stays aligned.
+    part_rng: Option<SimRng>,
+    /// Set by a push that crossed out of the current event's partition;
+    /// drained into `conflicted_events` after each handler.
+    conflicted: bool,
     measuring: bool,
     end_at: Cycles,
     served: u64,
@@ -517,9 +572,7 @@ impl Runner {
 
         let clients = Clients::new(cfg.workload.clone(), cfg.seed);
         let mut tasks = Vec::new();
-        let mut sleep_acceptors = vec![Vec::new(); cfg.cores];
-        let idle_workers = vec![Vec::new(); cfg.cores];
-        let mut acceptors = vec![u32::MAX; cfg.cores];
+        let mut lanes: Vec<CoreState> = (0..cfg.cores as u16).map(CoreState::new).collect();
         match cfg.server {
             ServerKind::ApacheWorker { .. } => {
                 for c in 0..cfg.cores {
@@ -529,8 +582,8 @@ impl Runner {
                     let mut t = STask::new(core, true, TaskRole::Acceptor, objs);
                     t.sleeping = true;
                     tasks.push(t);
-                    acceptors[c] = tid;
-                    sleep_acceptors[c].push(tid);
+                    lanes[c].acceptor = tid;
+                    lanes[c].sleep_acceptors.push(tid);
                 }
             }
             ServerKind::Lighttpd { procs_per_core, .. } => {
@@ -542,7 +595,7 @@ impl Runner {
                         let mut t = STask::new(core, false, TaskRole::EventLoop, objs);
                         t.sleeping = true;
                         tasks.push(t);
-                        sleep_acceptors[c].push(tid);
+                        lanes[c].sleep_acceptors.push(tid);
                     }
                 }
             }
@@ -566,8 +619,6 @@ impl Runner {
         let arrival_interval_mean = CYCLES_PER_SEC as f64 / cfg.conn_rate.max(1e-9);
         let end_at = cfg.warmup + cfg.measure;
         let n_rings = nic.n_rings();
-        let n_cores_for_hog = cfg.cores;
-        let workers_spawned = vec![0; cfg.cores];
         // Reuse a pooled (already reset) queue with the right backend so
         // sweep runs after the first start with warm allocations.
         let (q, pkts, timers) = Q_POOL.with(|p| {
@@ -588,11 +639,11 @@ impl Runner {
             fstats: FaultStats::default(),
             ostats: OverloadStats::default(),
             cookie_pending: FastMap::default(),
-            shed: vec![false; cfg.cores],
             shed_cap,
-            core_down: vec![false; cfg.cores],
-            watchdog_marked: vec![false; cfg.cores],
-            redirect: (0..cfg.cores as u16).collect(),
+            planner: WavePlanner::new(cfg.cores),
+            cur_part: Partition::Global,
+            part_rng: cfg.partition_fuzz.map(SimRng::new),
+            conflicted: false,
             q,
             pkts,
             timers,
@@ -603,14 +654,10 @@ impl Runner {
             listen,
             clients,
             tasks,
-            sleep_acceptors,
-            idle_workers,
-            acceptors,
-            workers_spawned,
+            lanes,
             conn_app: FastMap::default(),
             twenty,
             hog,
-            hog_seen: vec![(0, 0); n_cores_for_hog],
             softirq_pending: vec![false; n_rings],
             measuring: false,
             end_at,
@@ -694,7 +741,7 @@ impl Runner {
 
     fn send_to_server(&mut self, pkt: Packet, at: Cycles) {
         let handle = self.pkts.intern(pkt);
-        self.q.push(at, Ev::Wire(handle));
+        self.sched(at, Ev::Wire(handle));
     }
 
     /// Narrows a client connection id for event storage. Ids are
@@ -718,14 +765,14 @@ impl Runner {
             let wire_end = self.nic.tx(t, pkt.wire_bytes());
             t = wire_end;
             let handle = self.pkts.intern(pkt);
-            self.q.push(
+            self.sched(
                 wire_end + PROP_DELAY,
                 Ev::ToClient(Self::ev_cid(cid), handle),
             );
             if left == 0 {
                 // The TX-completion interrupt fires on the connection's
                 // ring core once the last segment leaves.
-                self.q.push(wire_end + IRQ_LATENCY, Ev::TxComplete(conn));
+                self.sched(wire_end + IRQ_LATENCY, Ev::TxComplete(conn));
                 break;
             }
         }
@@ -739,7 +786,7 @@ impl Runner {
         let pkt = Packet::new(tuple, kind, 0);
         let wire_end = self.nic.tx(at, pkt.wire_bytes());
         let handle = self.pkts.intern(pkt);
-        self.q.push(
+        self.sched(
             wire_end + PROP_DELAY,
             Ev::ToClient(Self::ev_cid(cid), handle),
         );
@@ -750,7 +797,7 @@ impl Runner {
         if !t.queued {
             t.queued = true;
             let core = t.core.index();
-            self.q.push_to(core, at, Ev::TaskRun(tid));
+            self.sched_to(core, at, Ev::TaskRun(tid));
         }
     }
 
@@ -794,10 +841,10 @@ impl Runner {
         let mut extra = 0;
         let mut woken = 0usize;
         'outer: for core in &buf {
-            if self.core_down[core.index()] {
+            if self.lanes[core.index()].down {
                 continue;
             }
-            while let Some(tid) = self.sleep_acceptors[core.index()].pop() {
+            while let Some(tid) = self.lanes[core.index()].sleep_acceptors.pop() {
                 let t = &mut self.tasks[tid as usize];
                 t.sleeping = false;
                 t.just_woken = true;
@@ -978,11 +1025,11 @@ impl Runner {
     }
 
     fn take_worker(&mut self, core: CoreId, cap: usize) -> Option<u32> {
-        if let Some(w) = self.idle_workers[core.index()].pop() {
+        if let Some(w) = self.lanes[core.index()].idle_workers.pop() {
             return Some(w);
         }
-        if self.workers_spawned[core.index()] < cap {
-            self.workers_spawned[core.index()] += 1;
+        if self.lanes[core.index()].workers_spawned < cap {
+            self.lanes[core.index()].workers_spawned += 1;
             let objs = self.k.new_task_objs(core);
             let tid = self.tasks.len() as u32;
             self.tasks
@@ -994,15 +1041,17 @@ impl Runner {
 
     fn release_worker(&mut self, tid: u32) {
         let core = self.tasks[tid as usize].core;
-        self.idle_workers[core.index()].push(tid);
+        self.lanes[core.index()].idle_workers.push(tid);
         // The acceptor may have stalled on a full worker pool; nudge it.
-        let acceptor = self.acceptors[core.index()];
+        let acceptor = self.lanes[core.index()].acceptor;
         if acceptor != u32::MAX && self.listen.queued_on(core) > 0 {
             let a = &mut self.tasks[acceptor as usize];
             if a.sleeping {
                 a.sleeping = false;
                 a.just_woken = true;
-                self.sleep_acceptors[core.index()].retain(|t| *t != acceptor);
+                self.lanes[core.index()]
+                    .sleep_acceptors
+                    .retain(|t| *t != acceptor);
                 self.dbg_sched[3] += 1;
                 self.schedule_task(acceptor, self.now);
             }
@@ -1030,13 +1079,13 @@ impl Runner {
     fn cookie_mode(&mut self, core: CoreId) -> bool {
         let i = core.index();
         let q = self.listen.queued_on(core) as f64;
-        if !self.shed[i] && q >= self.cfg.overload.shed_high * self.shed_cap {
-            self.shed[i] = true;
+        if !self.lanes[i].shed && q >= self.cfg.overload.shed_high * self.shed_cap {
+            self.lanes[i].shed = true;
             self.ostats.shed_on += 1;
             self.fingerprint
                 .fold_event(self.now, FOLD_SHED, (1 << 32) | u64::from(core.0));
-        } else if self.shed[i] && q <= self.cfg.overload.shed_low * self.shed_cap {
-            self.shed[i] = false;
+        } else if self.lanes[i].shed && q <= self.cfg.overload.shed_low * self.shed_cap {
+            self.lanes[i].shed = false;
             self.ostats.shed_off += 1;
             self.fingerprint
                 .fold_event(self.now, FOLD_SHED, u64::from(core.0));
@@ -1046,7 +1095,7 @@ impl Runner {
             .overload
             .half_open_cap
             .unwrap_or(self.cfg.max_backlog);
-        self.shed[i] || self.listen.backlogged(core) || self.k.reqs.len() >= half_open_cap
+        self.lanes[i].shed || self.listen.backlogged(core) || self.k.reqs.len() >= half_open_cap
     }
 
     /// Takes core `c` offline: re-homes its accept queue to the
@@ -1056,20 +1105,20 @@ impl Runner {
     /// the last live core down.
     fn core_offline(&mut self, c: u16, by_watchdog: bool) {
         let i = usize::from(c);
-        if self.core_down[i] {
+        if self.lanes[i].down {
             return;
         }
         // Deterministic target: least-loaded live core, ties by index.
         let Some(target) = (0..self.cfg.cores)
-            .filter(|j| *j != i && !self.core_down[*j])
+            .filter(|j| *j != i && !self.lanes[*j].down)
             .min_by_key(|j| (self.cores.load(CoreId(*j as u16)), *j))
         else {
             return;
         };
-        self.core_down[i] = true;
+        self.lanes[i].down = true;
         self.ostats.core_downs += 1;
         if by_watchdog {
-            self.watchdog_marked[i] = true;
+            self.lanes[i].watchdog_marked = true;
             self.ostats.watchdog_marks += 1;
         }
         let from = CoreId(c);
@@ -1098,9 +1147,9 @@ impl Runner {
         }
         // Re-point the dead core — and anything already redirected to it —
         // at the target, so redirect chains always end at a live core.
-        for r in &mut self.redirect {
-            if *r == c {
-                *r = to.0;
+        for lane in &mut self.lanes {
+            if lane.redirect == c {
+                lane.redirect = to.0;
             }
         }
         // Anything re-homed must get served: wake the target's acceptors.
@@ -1117,12 +1166,12 @@ impl Runner {
     /// and tasks that accumulated ready work while parked are rewoken.
     fn core_online(&mut self, c: u16) {
         let i = usize::from(c);
-        if !self.core_down[i] {
+        if !self.lanes[i].down {
             return;
         }
-        self.core_down[i] = false;
-        self.watchdog_marked[i] = false;
-        self.redirect[i] = c;
+        self.lanes[i].down = false;
+        self.lanes[i].watchdog_marked = false;
+        self.lanes[i].redirect = c;
         self.ostats.core_ups += 1;
         for tid in 0..self.tasks.len() as u32 {
             let t = &self.tasks[tid as usize];
@@ -1132,7 +1181,7 @@ impl Runner {
             let t = &mut self.tasks[tid as usize];
             t.sleeping = false;
             t.just_woken = true;
-            self.sleep_acceptors[i].retain(|x| *x != tid);
+            self.lanes[i].sleep_acceptors.retain(|x| *x != tid);
             self.dbg_sched[0] += 1;
             let run_at = self.cores.start_time(CoreId(c), self.now);
             self.schedule_task(tid, run_at);
@@ -1154,14 +1203,15 @@ impl Runner {
         }] += 1;
         self.tasks[tid as usize].queued = false;
         let core = self.tasks[tid as usize].core;
-        if self.core_down[core.index()] {
+        if self.lanes[core.index()].down {
             // The core is offline: park the task. Hotplug-up (or a wake
             // for new data, once the core is back) reschedules it.
             let role = self.tasks[tid as usize].role;
             let t = &mut self.tasks[tid as usize];
             t.sleeping = true;
-            if role != TaskRole::Worker && !self.sleep_acceptors[core.index()].contains(&tid) {
-                self.sleep_acceptors[core.index()].push(tid);
+            if role != TaskRole::Worker && !self.lanes[core.index()].sleep_acceptors.contains(&tid)
+            {
+                self.lanes[core.index()].sleep_acceptors.push(tid);
             }
             return;
         }
@@ -1232,12 +1282,12 @@ impl Runner {
                         ServerKind::ApacheWorker { workers_per_core } => workers_per_core,
                         ServerKind::Lighttpd { .. } => unreachable!("acceptor is apache-only"),
                     };
-                    let have_slot = !self.idle_workers[core.index()].is_empty()
-                        || self.workers_spawned[core.index()] < cap;
+                    let have_slot = !self.lanes[core.index()].idle_workers.is_empty()
+                        || self.lanes[core.index()].workers_spawned < cap;
                     if !have_slot || !self.do_accept(tid) {
                         let t = &mut self.tasks[tid as usize];
                         t.sleeping = true;
-                        self.sleep_acceptors[core.index()].push(tid);
+                        self.lanes[core.index()].sleep_acceptors.push(tid);
                         return;
                     }
                 }
@@ -1251,7 +1301,7 @@ impl Runner {
                     if self.tasks[tid as usize].conns >= cap || !self.do_accept(tid) {
                         let t = &mut self.tasks[tid as usize];
                         t.sleeping = true;
-                        self.sleep_acceptors[core.index()].push(tid);
+                        self.lanes[core.index()].sleep_acceptors.push(tid);
                         return;
                     }
                 }
@@ -1302,7 +1352,7 @@ impl Runner {
                     // created (a duplicate SYN keeps its existing timer).
                     if let Some(rp) = self.cfg.overload.reap {
                         if let Some(req) = self.k.reqs.lookup(&pkt.tuple) {
-                            self.q.push(
+                            self.sched(
                                 self.now + rp.backoff(1),
                                 Ev::ReqReap(Self::ev_req(req), 1, core.0),
                             );
@@ -1406,7 +1456,7 @@ impl Runner {
         // A dead ring-core's softirq work runs on its redirect target
         // (identity while every core is up), so packets already steered
         // to the ring — established connections included — still flow.
-        let core = CoreId(self.redirect[self.nic.ring_core(RingId(ring)).index()]);
+        let core = CoreId(self.lanes[self.nic.ring_core(RingId(ring)).index()].redirect);
         let mut budget = SOFTIRQ_BUDGET;
         while budget > 0 {
             let start = self.cores.start_time(core, self.now);
@@ -1427,7 +1477,115 @@ impl Runner {
             self.softirq_pending[ring as usize] = false;
         } else {
             let at = self.cores.core(core).busy_until.max(self.now);
-            self.q.push_to(usize::from(ring), at, Ev::Softirq(ring));
+            self.sched_to(usize::from(ring), at, Ev::Softirq(ring));
+        }
+    }
+
+    /// Classifies one event by the state its handler writes (the
+    /// conflict-partition model of DESIGN.md §11). Stats only — the
+    /// dispatch order never depends on the answer — but the answer must
+    /// itself be deterministic over the dispatch stream so every backend
+    /// and instrumentation mode reports identical partition stats.
+    fn classify(&self, ev: &Ev) -> Partition {
+        match ev {
+            // The client fleet is one shared lane: arrivals, thinks,
+            // timeouts, client-side packet receipt and retransmissions.
+            Ev::Arrival
+            | Ev::Think(_)
+            | Ev::Timeout(..)
+            | Ev::ToClient(..)
+            | Ev::SynRetrans(..) => Partition::Client,
+            // A wire delivery writes exactly one ring — the one steering
+            // routes the tuple to (as redirected under hotplug). With
+            // packet faults active the handler draws from the shared
+            // fault RNG stream first, which is order-sensitive: every
+            // wire event then serializes.
+            Ev::Wire(handle) => {
+                if self.cfg.fault.has_packet_faults() {
+                    return Partition::Global;
+                }
+                let pkt = self.pkts.get(*handle);
+                let ring = self.nic.steering.route(&pkt.tuple, self.nic.n_rings());
+                Partition::Core(self.lanes[self.nic.ring_core(ring).index()].redirect)
+            }
+            Ev::Softirq(ring) => {
+                Partition::Core(self.lanes[self.nic.ring_core(RingId(*ring)).index()].redirect)
+            }
+            Ev::TaskRun(tid) => Partition::Core(self.tasks[*tid as usize].core.0),
+            Ev::TxComplete(conn) => {
+                if self.k.has_conn(*conn) {
+                    Partition::Core(self.k.conn(*conn).rx_core.0)
+                } else {
+                    // The connection is gone; the handler is a no-op.
+                    Partition::Core(0)
+                }
+            }
+            Ev::Hog(c) | Ev::PollAccept(c) => Partition::Core(*c),
+            Ev::ReqReap(_, _, c) => Partition::Core(self.lanes[usize::from(*c)].redirect),
+            // Cross-lane writes (balancers, hotplug, the watchdog scan,
+            // the measurement switch) and injected stalls: each one is a
+            // serialization point.
+            Ev::Balance
+            | Ev::SchedBalance
+            | Ev::MeasureStart
+            | Ev::Watchdog
+            | Ev::CoreDown(_)
+            | Ev::CoreUp(_)
+            | Ev::CoreStall(_) => Partition::Global,
+        }
+    }
+
+    /// [`Runner::classify`] with the optional fuzz stream applied: under
+    /// [`RunConfig::partition_fuzz`] a quarter of events land in a
+    /// random partition instead. Execution never looks at the result,
+    /// so any flip pattern must leave the run bit-identical.
+    fn classify_dispatch(&mut self, ev: &Ev) -> Partition {
+        let natural = self.classify(ev);
+        let cores = self.cfg.cores as u64;
+        let Some(rng) = &mut self.part_rng else {
+            return natural;
+        };
+        if !rng.chance(0.25) {
+            return natural;
+        }
+        match rng.below(3) {
+            0 => Partition::Core(rng.below(cores) as u16),
+            1 => Partition::Client,
+            _ => Partition::Global,
+        }
+    }
+
+    /// Schedules `ev` at `at` on the canonical queue, charging a
+    /// conflict to the event currently being handled when the push
+    /// leaves its partition (a core event waking another lane, a client
+    /// event materializing server-side work).
+    fn sched(&mut self, at: Cycles, ev: Ev) {
+        self.note_push(&ev);
+        self.q.push(at, ev);
+    }
+
+    /// [`Runner::sched`] with an explicit shard hint (per-core events
+    /// keep their lane's shard under the sharded backend).
+    fn sched_to(&mut self, shard: usize, at: Cycles, ev: Ev) {
+        self.note_push(&ev);
+        self.q.push_to(shard, at, ev);
+    }
+
+    fn note_push(&mut self, ev: &Ev) {
+        // `cur_part` is Global outside a handler (construction, the run
+        // loop itself), and global events may touch anything by design.
+        // Conflicted is sticky per event, so once set the remaining
+        // pushes of the same handler skip classification entirely.
+        if self.conflicted {
+            return;
+        }
+        match self.cur_part {
+            Partition::Global => {}
+            cur => {
+                if self.classify(ev) != cur {
+                    self.conflicted = true;
+                }
+            }
         }
     }
 
@@ -1477,18 +1635,18 @@ impl Runner {
                 let (cid, syn) = self.clients.start_conn(self.now);
                 self.send_to_server(syn, self.now + PROP_DELAY);
                 if let Some(rp) = self.cfg.fault.retrans {
-                    self.q.push(
+                    self.sched(
                         self.now + rp.backoff(1),
                         Ev::SynRetrans(Self::ev_cid(cid), 1),
                     );
                 }
                 let gen = self.timers.arm(cid);
-                self.q.push(
+                self.sched(
                     self.now + self.clients.workload().timeout,
                     Ev::Timeout(Self::ev_cid(cid), gen),
                 );
                 let gap = self.rng.exp(self.arrival_interval_mean).max(1.0) as Cycles;
-                self.q.push(self.now + gap, Ev::Arrival);
+                self.sched(self.now + gap, Ev::Arrival);
             }
             Ev::Wire(handle) => {
                 if self.cfg.fault.has_packet_faults() && !self.wire_fault(handle) {
@@ -1498,7 +1656,7 @@ impl Runner {
                     RxOutcome::Delivered { ring, at } => {
                         if !self.softirq_pending[ring.0 as usize] {
                             self.softirq_pending[ring.0 as usize] = true;
-                            self.q.push_to(
+                            self.sched_to(
                                 usize::from(ring.0),
                                 at + IRQ_LATENCY,
                                 Ev::Softirq(ring.0),
@@ -1529,7 +1687,7 @@ impl Runner {
                         // (the kill-one-core recovery gate); dead-core
                         // casualties are expected.
                         if let Some(conn) = self.k.est.lookup(&fin.tuple) {
-                            if self.core_down[self.k.conn(conn).rx_core.index()] {
+                            if self.lanes[self.k.conn(conn).rx_core.index()].down {
                                 self.timeouts_dead_owner += 1;
                             } else {
                                 self.timeouts_live_owner += 1;
@@ -1558,7 +1716,7 @@ impl Runner {
                     self.send_to_server(p, self.now + PROP_DELAY);
                 }
                 if let Some(t) = r.think_until {
-                    self.q.push(t, Ev::Think(cid));
+                    self.sched(t, Ev::Think(cid));
                 }
             }
             Ev::Balance => {
@@ -1606,13 +1764,15 @@ impl Runner {
                         let old = self.tasks[tid as usize].core;
                         self.tasks[tid as usize].core = dest;
                         if self.tasks[tid as usize].sleeping {
-                            self.sleep_acceptors[old.index()].retain(|x| *x != tid);
-                            self.sleep_acceptors[dest.index()].push(tid);
+                            self.lanes[old.index()]
+                                .sleep_acceptors
+                                .retain(|x| *x != tid);
+                            self.lanes[dest.index()].sleep_acceptors.push(tid);
                         }
                         moved += 1;
                     }
                 }
-                self.q.push(self.now + ms(10), Ev::SchedBalance);
+                self.sched(self.now + ms(10), Ev::SchedBalance);
             }
             Ev::Hog(core) => {
                 // The batch job never blocks the event timeline: softirqs
@@ -1621,30 +1781,29 @@ impl Runner {
                 // is the job's. Each poll scavenges the idle wall time
                 // since the previous poll.
                 let c = CoreId(core);
-                if let Some(job) = &mut self.hog {
-                    if job.is_finished() {
-                        return;
-                    }
-                    let busy = self.cores.core(c).busy_cycles;
-                    let (seen_busy, seen_wall) = self.hog_seen[c.index()];
-                    let wall = self.now;
-                    let busy_delta = busy.saturating_sub(seen_busy);
-                    let idle = (wall - seen_wall).saturating_sub(busy_delta);
-                    self.hog_seen[c.index()] = (busy, wall);
-                    if idle > 0 {
+                if self.hog.as_ref().is_none_or(|job| job.is_finished()) {
+                    return;
+                }
+                let busy = self.cores.core(c).busy_cycles;
+                let (seen_busy, seen_wall) = self.lanes[c.index()].hog_seen;
+                let wall = self.now;
+                let busy_delta = busy.saturating_sub(seen_busy);
+                let idle = (wall - seen_wall).saturating_sub(busy_delta);
+                self.lanes[c.index()].hog_seen = (busy, wall);
+                if idle > 0 {
+                    if let Some(job) = &mut self.hog {
                         job.credit(c, idle, wall);
                     }
-                    self.q.push(self.now + crate::batch::SLICE, Ev::Hog(core));
                 }
+                self.sched(self.now + crate::batch::SLICE, Ev::Hog(core));
             }
             Ev::MeasureStart => {
                 self.measuring = true;
                 self.k.reset_measurement();
                 self.clients.start_measurement();
                 self.cores.reset_accounting();
-                for (i, seen) in self.hog_seen.iter_mut().enumerate() {
-                    let _ = i;
-                    seen.0 = 0;
+                for lane in &mut self.lanes {
+                    lane.hog_seen.0 = 0;
                 }
                 self.served = 0;
                 self.affinity_served = 0;
@@ -1665,7 +1824,7 @@ impl Runner {
                     SynRetrans::Resend(syn) => {
                         self.fstats.retrans_sent += 1;
                         self.send_to_server(syn, self.now + PROP_DELAY);
-                        self.q.push(
+                        self.sched(
                             self.now + rp.backoff(attempt + 1),
                             Ev::SynRetrans(cid, attempt + 1),
                         );
@@ -1690,7 +1849,7 @@ impl Runner {
             }
             Ev::PollAccept(core_idx) => {
                 let core = CoreId(core_idx);
-                if self.core_down[core.index()] {
+                if self.lanes[core.index()].down {
                     // Offline: skip the probe but keep the poll chain
                     // alive so polling resumes when the core returns.
                     if self.now < self.end_at {
@@ -1703,7 +1862,7 @@ impl Runner {
                 // waiting for the enqueue-side wakeup. A hit wakes the
                 // core's sleeping acceptor; a miss just burns the probe.
                 if self.listen.queued_on(core) > 0 {
-                    if let Some(tid) = self.sleep_acceptors[core.index()].pop() {
+                    if let Some(tid) = self.lanes[core.index()].sleep_acceptors.pop() {
                         let t = &mut self.tasks[tid as usize];
                         t.sleeping = false;
                         t.just_woken = true;
@@ -1727,14 +1886,14 @@ impl Runner {
                 };
                 for c in 0..self.cfg.cores as u16 {
                     let i = usize::from(c);
-                    if !self.core_down[i] {
+                    if !self.lanes[i].down {
                         // A core whose busy horizon runs this far past the
                         // present has stopped making timely progress (a
                         // stall window froze it): declare it dead.
                         if self.cores.core(CoreId(c)).busy_until > self.now + w.dead_after {
                             self.core_offline(c, true);
                         }
-                    } else if self.watchdog_marked[i]
+                    } else if self.lanes[i].watchdog_marked
                         && self.cores.core(CoreId(c)).busy_until <= self.now
                     {
                         // The stall cleared: revive the core. Explicitly
@@ -1743,7 +1902,7 @@ impl Runner {
                     }
                 }
                 if self.now < self.end_at {
-                    self.q.push(self.now + w.interval, Ev::Watchdog);
+                    self.sched(self.now + w.interval, Ev::Watchdog);
                 }
             }
             Ev::ReqReap(rid, attempt, core_idx) => {
@@ -1757,7 +1916,7 @@ impl Runner {
                     return;
                 }
                 // Timer context on the SYN core (or its re-home target).
-                let core = CoreId(self.redirect[usize::from(core_idx)]);
+                let core = CoreId(self.lanes[usize::from(core_idx)].redirect);
                 let start = self.cores.start_time(core, self.now);
                 if u32::from(attempt) <= rp.synack_retries {
                     if let Some(d) = ops::synack_retransmit(&mut self.k, core, req) {
@@ -1766,7 +1925,7 @@ impl Runner {
                         let tuple = self.k.reqs.get(req).expect("checked above").tuple;
                         self.tx_control(start + d, tuple, PacketKind::SynAck);
                     }
-                    self.q.push(
+                    self.sched(
                         self.now + rp.backoff(u32::from(attempt) + 1),
                         Ev::ReqReap(rid, attempt + 1, core_idx),
                     );
@@ -1812,13 +1971,13 @@ impl Runner {
         if self.fault_rng.chance(dup_p) {
             let copy = *self.pkts.get(handle);
             let dup = self.pkts.intern(copy);
-            self.q.push(self.now, Ev::Wire(dup));
+            self.sched(self.now, Ev::Wire(dup));
             self.fstats.duplicated += 1;
             self.fingerprint.fold_event(self.now, FOLD_FAULT_DUP, key);
         }
         if self.fault_rng.chance(reorder_p) {
             let extra = 1 + self.fault_rng.below(reorder_delay.max(1));
-            self.q.push(self.now + extra, Ev::Wire(handle));
+            self.sched(self.now + extra, Ev::Wire(handle));
             self.fstats.reordered += 1;
             self.fingerprint
                 .fold_event(self.now, FOLD_FAULT_REORDER, key);
@@ -1850,7 +2009,14 @@ impl Runner {
                 self.fold_event(t, &ev);
             }
             self.events_executed += 1;
+            let p = self.classify_dispatch(&ev);
+            self.planner.note(p);
+            self.cur_part = p;
             self.handle(ev);
+            self.cur_part = Partition::Global;
+            if std::mem::take(&mut self.conflicted) {
+                self.planner.conflict();
+            }
         }
         if self.dbg_on {
             eprintln!(
@@ -1999,6 +2165,7 @@ impl Runner {
             timeline: self.timeline,
             timeouts_live_owner: self.timeouts_live_owner,
             timeouts_dead_owner: self.timeouts_dead_owner,
+            partition_stats: self.planner.finish(),
             kernel: self.k,
         }
     }

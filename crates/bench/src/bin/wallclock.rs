@@ -20,18 +20,30 @@
 //! out and the report carries `"instrumentation": "fast"` — the fast lane
 //! of the events/sec comparison.
 //!
+//! Each kind also reports the `partition` block: the conflict
+//! classification of the dispatched event stream (DESIGN.md §11) — how
+//! many events were core-lane-confined, client-confined, or global
+//! serialization points, and the Amdahl inputs (`parallel_fraction`,
+//! `speedup_bound`) a conflict-respecting parallel executor would see.
+//! The block comes from the wheel run and every sharded lane must
+//! reproduce it exactly (it depends only on the dispatch stream).
+//!
 //! Writes `results/BENCH_sim.json`. With `--baseline PATH` the run fails
 //! (exit 1) if its aggregate events/sec drops more than 30% below the
 //! `total_events_per_sec` recorded in the baseline file, **or** if any
 //! single kind drops more than 30% below that kind's recorded
 //! `events_per_sec` — a per-kind regression can hide inside a flat
-//! aggregate when another kind got faster. Set `WALLCLOCK_NO_GATE=1` to
-//! bypass the gate (e.g. on a host known to be slower than the one that
-//! produced the committed baseline).
+//! aggregate when another kind got faster. When both the run and the
+//! baseline carry sharded lanes, the *parallel-speedup* lane also gates:
+//! the aggregate sharded-vs-wheel wall ratio at the highest common thread
+//! count must stay within 25% of the baseline's ratio, so the parallel
+//! drain path cannot silently rot relative to the serial wheel. Set
+//! `WALLCLOCK_NO_GATE=1` to bypass the gates (e.g. on a host known to be
+//! slower than the one that produced the committed baseline).
 //!
 //! Usage: `wallclock [--smoke] [--repeats N] [--threads LIST] [--baseline PATH] [--out PATH]`
 
-use app::{ListenKind, RunConfig, Runner, ServerKind, Workload};
+use app::{ListenKind, PartitionStats, RunConfig, Runner, ServerKind, Workload};
 use metrics::json::Json;
 use sim::events::{Backend, EventQueue};
 use sim::rng::SimRng;
@@ -218,6 +230,9 @@ struct KindRow {
     heap_wall: f64,
     /// One row per `--threads` value: `(threads, best wall)`.
     sharded: Vec<(u16, f64)>,
+    /// Conflict-partition accounting of the dispatch stream (identical
+    /// on every backend; captured from the wheel run).
+    stats: PartitionStats,
 }
 
 /// Best-of-`repeats` wall per backend; asserts the two serial backends
@@ -226,6 +241,7 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
     let mut walls = [f64::INFINITY; 2]; // [heap, wheel]
     let mut fps = [0u64; 2];
     let mut events = [0u64; 2];
+    let mut stats = PartitionStats::default();
     for (bi, backend) in [Backend::Heap, Backend::Wheel].into_iter().enumerate() {
         for _ in 0..opts.repeats {
             let mut cfg = fig6_config(listen, opts.smoke);
@@ -236,6 +252,9 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
             walls[bi] = walls[bi].min(dt);
             fps[bi] = r.fingerprint;
             events[bi] = r.events_executed;
+            if bi == 1 {
+                stats = r.partition_stats;
+            }
         }
     }
     assert_eq!(
@@ -265,6 +284,15 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
         walls[0] / walls[1],
         fps[1]
     );
+    println!(
+        "{:8} partition: f={:.3}  bound={:.1}x  waves={}  serialization={}  conflicted={}",
+        "",
+        stats.parallel_fraction(),
+        stats.speedup_bound(),
+        stats.waves,
+        stats.serialization_points,
+        stats.conflicted_events
+    );
     let mut sharded = Vec::new();
     for &threads in &opts.threads {
         let mut wall = f64::INFINITY;
@@ -292,6 +320,13 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
                 "{} threads={threads}: event counts diverged",
                 listen.label()
             );
+            assert_eq!(
+                r.partition_stats,
+                stats,
+                "{} threads={threads}: partition accounting diverged from the \
+                 wheel (it must depend only on the dispatch stream)",
+                listen.label()
+            );
         }
         println!(
             "{:8} sharded threads={threads}: {wall:.3}s ({:.0} ev/s)  vs wheel {:.2}x",
@@ -308,6 +343,7 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
         wheel_wall: walls[1],
         heap_wall: walls[0],
         sharded,
+        stats,
     }
 }
 
@@ -396,6 +432,21 @@ fn report_json(
                     .field("seed_wall_s", seed)
                     .field("speedup_vs_seed", seed / row.wheel_wall);
             }
+            let s = &row.stats;
+            j = j.field(
+                "partition",
+                Json::obj()
+                    .field("core_events", s.core_events)
+                    .field("client_events", s.client_events)
+                    .field("global_events", s.global_events)
+                    .field("conflicted_events", s.conflicted_events)
+                    .field("serialization_points", s.serialization_points)
+                    .field("waves", s.waves)
+                    .field("max_wave", s.max_wave)
+                    .field("critical_path_events", s.critical_path_events)
+                    .field("parallel_fraction", s.parallel_fraction())
+                    .field("speedup_bound", s.speedup_bound()),
+            );
             if !row.sharded.is_empty() {
                 let lanes: Vec<Json> = row
                     .sharded
@@ -493,6 +544,7 @@ fn gate(path: &str, total_eps: f64, kinds: &[KindRow]) {
             row.listen.label()
         );
     }
+    failed |= parallel_gate(&baseline, kinds);
     if failed {
         println!(
             "wallclock: events/sec regressed more than 30% vs {path}; \
@@ -500,6 +552,72 @@ fn gate(path: &str, total_eps: f64, kinds: &[KindRow]) {
         );
         std::process::exit(1);
     }
+}
+
+/// The parallel-speedup lane: at the highest thread count this run
+/// measured, the aggregate sharded-vs-wheel wall ratio must stay within
+/// 25% of the ratio the baseline recorded at the same thread count. The
+/// absolute ratio is host-dependent (a 1-CPU container cannot show real
+/// speedup), but the *relative* ratio is stable: if the parallel drain
+/// path picks up a serialization bottleneck, its ratio drops against the
+/// same-host wheel and this lane fails even when the serial lanes are
+/// flat. Skipped (with a note) when either side lacks sharded lanes.
+/// Returns `true` when the lane fails.
+fn parallel_gate(baseline: &Json, kinds: &[KindRow]) -> bool {
+    let Some(threads) = kinds
+        .iter()
+        .flat_map(|row| row.sharded.iter().map(|&(t, _)| t))
+        .max()
+    else {
+        return false; // no --threads this run: nothing to gate
+    };
+    let mut wheel = 0.0f64;
+    let mut shard = 0.0f64;
+    for row in kinds {
+        let Some(&(_, wall)) = row.sharded.iter().find(|&&(t, _)| t == threads) else {
+            println!(
+                "gate: parallel lane skipped ({} has no threads={threads} run)",
+                row.listen.label()
+            );
+            return false;
+        };
+        wheel += row.wheel_wall;
+        shard += wall;
+    }
+    let Some(base_ratio) = baseline_parallel_ratio(baseline, u64::from(threads)) else {
+        println!("gate: parallel lane skipped (baseline has no threads={threads} sharded lanes)");
+        return false;
+    };
+    let ratio = wheel / shard;
+    let floor = base_ratio * 0.75;
+    let verdict = if ratio >= floor { "ok" } else { "FAIL" };
+    println!(
+        "gate: parallel threads={threads} sharded-vs-wheel {ratio:.3}x vs baseline \
+         {base_ratio:.3}x (floor {floor:.3}x): {verdict}"
+    );
+    ratio < floor
+}
+
+/// The baseline's aggregate sharded-vs-wheel wall ratio at `threads`:
+/// summed wheel walls over summed sharded walls across every kind. None
+/// when any kind lacks a sharded lane at that thread count.
+fn baseline_parallel_ratio(baseline: &Json, threads: u64) -> Option<f64> {
+    let Json::Arr(rows) = baseline.get("kinds")? else {
+        return None;
+    };
+    let mut wheel = 0.0f64;
+    let mut shard = 0.0f64;
+    for row in rows {
+        let Json::Arr(lanes) = row.get("sharded")? else {
+            return None;
+        };
+        let lane = lanes
+            .iter()
+            .find(|lane| number(lane, "threads") == Some(threads as f64))?;
+        wheel += number(row, "wheel_wall_s")?;
+        shard += number(lane, "wall_s")?;
+    }
+    (shard > 0.0).then(|| wheel / shard)
 }
 
 /// A numeric field of a JSON object, whichever exact variant holds it.
@@ -524,7 +642,29 @@ fn baseline_kind_eps(baseline: &Json, label: &str) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
-    use super::{baseline_kind_eps, number, Json};
+    use super::{baseline_kind_eps, baseline_parallel_ratio, number, Json};
+
+    #[test]
+    fn aggregates_the_baseline_parallel_ratio() {
+        let doc = Json::parse(
+            r#"{"kinds": [
+                 {"listen": "stock", "wheel_wall_s": 1.0,
+                  "sharded": [{"threads": 2, "wall_s": 2.0},
+                              {"threads": 8, "wall_s": 0.5}]},
+                 {"listen": "fine", "wheel_wall_s": 3.0,
+                  "sharded": [{"threads": 2, "wall_s": 3.0},
+                              {"threads": 8, "wall_s": 1.5}]}]}"#,
+        )
+        .unwrap();
+        // threads=8: (1.0 + 3.0) / (0.5 + 1.5) = 2.0
+        assert_eq!(baseline_parallel_ratio(&doc, 8), Some(2.0));
+        // threads=2: (1.0 + 3.0) / (2.0 + 3.0) = 0.8
+        assert_eq!(baseline_parallel_ratio(&doc, 2), Some(0.8));
+        // threads=4 missing from a lane list: no ratio.
+        assert_eq!(baseline_parallel_ratio(&doc, 4), None);
+        // No kinds at all: no ratio.
+        assert_eq!(baseline_parallel_ratio(&Json::obj(), 8), None);
+    }
 
     #[test]
     fn reads_numbers_whatever_the_variant() {

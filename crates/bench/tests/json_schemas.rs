@@ -132,7 +132,7 @@ fn wallclock_artifact_schema_round_trips() {
     let out = tmp("bench_sim.json");
     let doc = run_binary(
         env!("CARGO_BIN_EXE_wallclock"),
-        &["--smoke", "--repeats", "1"],
+        &["--smoke", "--repeats", "1", "--threads", "2"],
         &out,
     );
     assert!(matches!(obj(&doc, "schema"), Json::Str(_)));
@@ -148,5 +148,29 @@ fn wallclock_artifact_schema_round_trips() {
         assert!(matches!(obj(row, "fingerprint"), Json::Str(_)));
         assert_num(row, "events_per_sec");
         assert_num(row, "wheel_vs_heap");
+
+        // The conflict-partition block (DESIGN.md §11): downstream
+        // tooling plots parallel_fraction/speedup_bound per kind.
+        let part = obj(row, "partition");
+        assert_u64(part, "core_events");
+        assert_u64(part, "client_events");
+        assert_u64(part, "global_events");
+        assert_u64(part, "conflicted_events");
+        assert_u64(part, "serialization_points");
+        assert_u64(part, "waves");
+        assert_u64(part, "max_wave");
+        assert_u64(part, "critical_path_events");
+        assert_num(part, "parallel_fraction");
+        assert_num(part, "speedup_bound");
+
+        // The sharded lanes the parallel-speedup gate reads back.
+        let lanes = arr(row, "sharded");
+        assert!(!lanes.is_empty(), "--threads 2 produces a sharded lane");
+        for lane in lanes {
+            assert_u64(lane, "threads");
+            assert_num(lane, "wall_s");
+            assert_num(lane, "events_per_sec");
+            assert_num(lane, "vs_wheel");
+        }
     }
 }

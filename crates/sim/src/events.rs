@@ -115,7 +115,9 @@ impl<E> HeapQueue<E> {
 enum Inner<E> {
     Wheel(TimerWheel<E>),
     Heap(HeapQueue<E>),
-    Sharded(ShardedQueue<E>),
+    // Boxed: the sharded queue carries its drain pool and pooled epoch
+    // buffers inline, dwarfing the serial variants.
+    Sharded(Box<ShardedQueue<E>>),
 }
 
 /// A min-queue of `(time, event)` pairs with stable FIFO tie-breaking.
@@ -159,7 +161,7 @@ impl<E: Send + 'static> EventQueue<E> {
             Backend::Wheel => Inner::Wheel(TimerWheel::new()),
             Backend::Heap => Inner::Heap(HeapQueue::new()),
             Backend::Sharded { shards, threads } => {
-                Inner::Sharded(ShardedQueue::new(shards, threads, DEFAULT_EPOCH))
+                Inner::Sharded(Box::new(ShardedQueue::new(shards, threads, DEFAULT_EPOCH)))
             }
         };
         Self { inner }
@@ -238,6 +240,16 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Allocation and merge accounting of the sharded backend; `None`
+    /// on the single-queue backends.
+    #[must_use]
+    pub fn shard_stats(&self) -> Option<crate::shard::ShardStats> {
+        match &self.inner {
+            Inner::Sharded(s) => Some(s.stats()),
+            _ => None,
+        }
     }
 
     /// Empties the queue and rewinds time to zero, retaining allocations

@@ -12,7 +12,8 @@
 //! * [`events`] — a deterministic time-ordered event queue, selectable
 //!   between a hierarchical timer wheel ([`wheel`], the default), a
 //!   binary-heap reference implementation, and per-shard wheels drained
-//!   by real threads in deterministic epochs ([`shard`]).
+//!   by real threads in deterministic epochs ([`shard`], merged back
+//!   into one canonical stream by the loser tree of [`merge`]).
 //! * [`fingerprint`] — order-sensitive FNV-1a hashes folded over the
 //!   executed event stream; equal configs and seeds must yield equal
 //!   fingerprints, making any lost determinism loud.
@@ -43,6 +44,7 @@ pub mod fastmap;
 pub mod fault;
 pub mod fingerprint;
 pub mod lock;
+pub mod merge;
 pub mod overload;
 pub mod rng;
 pub mod sched;
@@ -57,8 +59,9 @@ pub use fastmap::FastMap;
 pub use fault::{FaultPlan, FaultStats, RetransPolicy, StallWindow};
 pub use fingerprint::{ActiveFingerprint, Fingerprint, NoOpFingerprint};
 pub use lock::TimelineLock;
+pub use merge::LoserTree;
 pub use overload::{HotplugEvent, OverloadConfig, OverloadStats, ReapPolicy, WatchdogPolicy};
 pub use rng::SimRng;
-pub use shard::ShardedQueue;
+pub use shard::{ShardStats, ShardedQueue};
 pub use time::Cycles;
 pub use topology::{CoreId, Machine};

@@ -157,5 +157,10 @@ fn wheel_and_heap_backends_replay_identically() {
         assert_eq!(h.served, w.served, "{listen:?}: served");
         assert_eq!(h.migrations, w.migrations, "{listen:?}: migrations");
         assert_eq!(h.audit, w.audit, "{listen:?}: audit counters");
+        assert_eq!(
+            h.partition_stats, w.partition_stats,
+            "{listen:?}: partition stats must depend only on the dispatch \
+             stream, never on the backend"
+        );
     }
 }

@@ -36,6 +36,10 @@ struct EndState {
     accepts_local: u64,
     accepts_stolen: u64,
     flow_migrations: u64,
+    /// Conflict-partition accounting (DESIGN.md §11). Active in both
+    /// instrumentation modes — it draws no RNG and perturbs nothing —
+    /// so fast builds must reproduce it exactly like any other metric.
+    partition: PartitionStats,
 }
 
 impl EndState {
@@ -57,6 +61,7 @@ impl EndState {
             accepts_local: r.listen_stats.accepts_local,
             accepts_stolen: r.listen_stats.accepts_stolen,
             flow_migrations: r.listen_stats.flow_migrations,
+            partition: r.partition_stats,
         }
     }
 }
@@ -85,6 +90,16 @@ const GOLDEN: [(ListenKind, u64, EndState); 2] = [
             accepts_local: 1219,
             accepts_stolen: 0,
             flow_migrations: 0,
+            partition: PartitionStats {
+                core_events: 58_495,
+                client_events: 20_950,
+                global_events: 4,
+                conflicted_events: 29_808,
+                serialization_points: 4,
+                waves: 4,
+                max_wave: 27_700,
+                critical_path_events: 20_954,
+            },
         },
     ),
     (
@@ -107,6 +122,16 @@ const GOLDEN: [(ListenKind, u64, EndState); 2] = [
             accepts_local: 1218,
             accepts_stolen: 0,
             flow_migrations: 0,
+            partition: PartitionStats {
+                core_events: 59_975,
+                client_events: 20_874,
+                global_events: 4,
+                conflicted_events: 36_632,
+                serialization_points: 4,
+                waves: 4,
+                max_wave: 28_286,
+                critical_path_events: 20_878,
+            },
         },
     ),
 ];
@@ -230,6 +255,62 @@ fn the_comparison_has_teeth() {
         },
         EndState {
             flow_migrations: golden.flow_migrations + 1,
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                core_events: golden.partition.core_events + 1,
+                ..golden.partition
+            },
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                client_events: golden.partition.client_events + 1,
+                ..golden.partition
+            },
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                global_events: golden.partition.global_events + 1,
+                ..golden.partition
+            },
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                conflicted_events: golden.partition.conflicted_events + 1,
+                ..golden.partition
+            },
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                serialization_points: golden.partition.serialization_points + 1,
+                ..golden.partition
+            },
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                waves: golden.partition.waves + 1,
+                ..golden.partition
+            },
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                max_wave: golden.partition.max_wave + 1,
+                ..golden.partition
+            },
+            ..golden
+        },
+        EndState {
+            partition: PartitionStats {
+                critical_path_events: golden.partition.critical_path_events + 1,
+                ..golden.partition
+            },
             ..golden
         },
     ];

@@ -73,6 +73,15 @@ fn assert_same(listen: ListenKind, what: &str, serial: &RunResult, parallel: &Ru
         "{listen:?} {what}: drops_nic"
     );
     assert_eq!(serial.audit, parallel.audit, "{listen:?} {what}: audit");
+    assert_eq!(
+        serial.overload, parallel.overload,
+        "{listen:?} {what}: overload stats"
+    );
+    assert_eq!(
+        serial.partition_stats, parallel.partition_stats,
+        "{listen:?} {what}: partition stats (the conflict classification \
+         must depend only on the dispatch stream, never on the backend)"
+    );
 }
 
 #[test]
@@ -146,5 +155,130 @@ fn parallel_audits_stay_clean_under_load() {
             "cores={cores} rate={rate}: audit violations:\n  {}",
             v.join("\n  ")
         );
+    }
+}
+
+/// A config built to maximize cross-partition traffic: cores hotplug down
+/// and up mid-window, the watchdog scans constantly, flow-group
+/// rebalancing fires every millisecond, and the overload plane sheds and
+/// reaps under a heavy offered rate. Every one of those is a
+/// serialization point or a cross-lane write — the worst case for a
+/// conflict-partitioned executor and therefore the sharpest differential
+/// for the sharded queue.
+fn conflict_heavy(listen: ListenKind) -> RunConfig {
+    let mut cfg = quick(listen, 8, 20_000.0);
+    cfg.migrate_interval = ms(1);
+    cfg.overload.syn_cookies = true;
+    cfg.overload.reap = Some(sim::overload::ReapPolicy {
+        ttl: ms(5),
+        synack_retries: 1,
+    });
+    cfg.overload.watchdog = Some(sim::overload::WatchdogPolicy {
+        interval: ms(5),
+        dead_after: ms(50),
+    });
+    cfg.hotplug = vec![
+        sim::overload::HotplugEvent {
+            core: 2,
+            at: ms(120),
+            up: false,
+        },
+        sim::overload::HotplugEvent {
+            core: 5,
+            at: ms(180),
+            up: false,
+        },
+        sim::overload::HotplugEvent {
+            core: 2,
+            at: ms(250),
+            up: true,
+        },
+        sim::overload::HotplugEvent {
+            core: 5,
+            at: ms(310),
+            up: true,
+        },
+    ];
+    cfg
+}
+
+#[test]
+fn forced_conflict_workload_matches_serial_at_every_thread_count() {
+    // Cross-core migrations, hotplug, and per-epoch LB rebalances force
+    // a steady stream of serialization points and cross-partition
+    // pushes; the parallel drains must still replay the serial schedule
+    // bit-for-bit, overload actions and partition accounting included.
+    for listen in [ListenKind::Affinity, ListenKind::Stock] {
+        let mut serial_cfg = conflict_heavy(listen);
+        serial_cfg.evq = Backend::Wheel;
+        let serial = Runner::new(serial_cfg).run();
+        assert!(
+            serial.overload.core_downs >= 2 && serial.overload.rehome_ops >= 2,
+            "{listen:?}: workload failed to force hotplug conflicts: {:?}",
+            serial.overload
+        );
+        assert!(
+            serial.partition_stats.serialization_points > 100,
+            "{listen:?}: workload failed to force serialization points: {:?}",
+            serial.partition_stats
+        );
+        assert!(
+            serial.partition_stats.conflicted_events > 0,
+            "{listen:?}: workload produced no conflicted events: {:?}",
+            serial.partition_stats
+        );
+        for threads in [2, 4, 8] {
+            let mut cfg = conflict_heavy(listen);
+            cfg.evq = Backend::Sharded { shards: 8, threads };
+            let parallel = Runner::new(cfg).run();
+            assert_same(
+                listen,
+                &format!("conflict-heavy threads={threads}"),
+                &serial,
+                &parallel,
+            );
+        }
+    }
+}
+
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Partition classification feeds statistics only: randomly
+        /// flipping events between partitioned and serialized classes
+        /// must leave the fingerprint — and every end-state metric —
+        /// bit-identical, on the serial and the sharded backend alike.
+        #[test]
+        fn classification_flips_never_move_the_schedule(seed in 1u64..u64::MAX) {
+            let base = {
+                let mut cfg = quick(ListenKind::Affinity, 4, 4_000.0);
+                cfg.evq = Backend::Sharded { shards: 4, threads: 2 };
+                Runner::new(cfg).run()
+            };
+            let fuzzed = {
+                let mut cfg = quick(ListenKind::Affinity, 4, 4_000.0);
+                cfg.evq = Backend::Sharded { shards: 4, threads: 2 };
+                cfg.partition_fuzz = Some(seed);
+                Runner::new(cfg).run()
+            };
+            prop_assert_eq!(base.fingerprint, fuzzed.fingerprint);
+            prop_assert_eq!(base.events_executed, fuzzed.events_executed);
+            prop_assert_eq!(base.served, fuzzed.served);
+            prop_assert_eq!(&base.audit, &fuzzed.audit);
+            // The flips do move the classification itself…
+            prop_assert_eq!(
+                base.partition_stats.total(),
+                fuzzed.partition_stats.total()
+            );
+            // …(global count almost surely differs under 25% flips)…
+            prop_assert_ne!(
+                &base.partition_stats, &fuzzed.partition_stats,
+                "fuzz seed {} flipped nothing", seed
+            );
+        }
     }
 }
