@@ -134,8 +134,12 @@ impl ListenKind {
     ];
 }
 
-/// Full configuration of one run.
-#[derive(Debug, Clone)]
+/// Full configuration of one run. `PartialEq` makes "two construction
+/// paths build the same run" provable by a cheap equality assert (the
+/// scenario catalog's fig6-parity test relies on it): with determinism
+/// pinned by the golden fingerprints, equal configs imply bit-identical
+/// output.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
     /// Machine model.
     pub machine: Machine,

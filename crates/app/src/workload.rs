@@ -10,7 +10,7 @@ pub const REQUEST_BYTES: u32 = 300;
 pub const RESPONSE_HEADER_BYTES: u32 = 250;
 
 /// The client workload description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Workload {
     /// Requests issued per batch; client thinks between batches.
     /// The paper's base pattern is `[1, 2, 3]` (§6.2).

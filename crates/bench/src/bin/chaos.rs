@@ -28,6 +28,7 @@
 //! Usage: `chaos [--cases N] [--seed S] [--smoke] [--loss-sweep] [--out PATH]`
 
 use app::{ListenKind, RunConfig, RunResult, Runner, ServerKind, Workload};
+use bench::quick_config;
 use metrics::json::Json;
 use sim::fault::{FaultPlan, RetransPolicy, StallWindow};
 use sim::overload::{HotplugEvent, OverloadConfig, ReapPolicy, WatchdogPolicy};
@@ -59,11 +60,7 @@ fn main() {
         report = report.field("loss_sweep", sweep.clone());
     }
     let report = report.field("ok", ok);
-    if let Some(parent) = std::path::Path::new(&opts.out).parent() {
-        let _ = std::fs::create_dir_all(parent);
-    }
-    std::fs::write(&opts.out, report.render() + "\n").expect("write report");
-    println!("report: {}", opts.out);
+    bench::write_artifact(&opts.out, &report);
 
     if ok {
         println!(
@@ -89,48 +86,23 @@ struct Opts {
 
 impl Opts {
     fn parse() -> Self {
-        let mut opts = Opts {
-            cases: 48,
-            seed: 0xC4A05,
-            out: "results/chaos.json".to_string(),
-            loss_sweep: false,
+        let mut args = bench::Args::parse(
+            "chaos [--cases N] [--seed S] [--smoke] [--loss-sweep] [--out PATH]",
+        );
+        let smoke = args.flag("--smoke");
+        let opts = Opts {
+            cases: args
+                .parsed("--cases")
+                .unwrap_or(if smoke { 12 } else { 48 }),
+            seed: args.parsed("--seed").unwrap_or(0xC4A05),
+            out: args
+                .value("--out")
+                .unwrap_or_else(|| "results/chaos.json".to_string()),
+            loss_sweep: args.flag("--loss-sweep"),
         };
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            let mut value = |name: &str| {
-                args.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
-            };
-            match a.as_str() {
-                "--cases" => opts.cases = value("--cases").parse().expect("--cases N"),
-                "--seed" => opts.seed = value("--seed").parse().expect("--seed S"),
-                "--out" => opts.out = value("--out"),
-                "--smoke" => opts.cases = 12,
-                "--loss-sweep" => opts.loss_sweep = true,
-                other => panic!(
-                    "unknown argument {other} (usage: chaos [--cases N] [--seed S] [--smoke] [--loss-sweep] [--out PATH])"
-                ),
-            }
-        }
+        args.finish();
         opts
     }
-}
-
-/// Short-window run config shared by every pass.
-fn quick_config(
-    machine: Machine,
-    cores: usize,
-    listen: ListenKind,
-    server: ServerKind,
-    rate: f64,
-    seed: u64,
-) -> RunConfig {
-    let mut cfg = RunConfig::new(machine, cores, listen, server, Workload::base(), rate);
-    cfg.warmup = ms(150);
-    cfg.measure = ms(150);
-    cfg.tracked_files = 200;
-    cfg.seed = seed;
-    cfg
 }
 
 fn label(cfg: &RunConfig) -> String {

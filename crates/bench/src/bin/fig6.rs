@@ -1,21 +1,24 @@
 //! Figure 6: lighttpd throughput per core vs. cores on the 80-core Intel
 //! machine.
+//!
+//! Since the scenario catalog landed this binary is a thin wrapper over
+//! `scenarios/fig6.json`: the sweep's machine, core counts, kinds,
+//! windows and search mode all come from the scenario file, and
+//! `tests/scenarios.rs` proves the derived configs are bit-identical to
+//! the `bench::base_config` ones this binary used to build by hand.
 
-use app::ServerKind;
-use bench::{base_config, intel_core_counts, sweep_saturation, throughput_series, IMPLS};
-use sim::topology::Machine;
+use bench::scenario::{catalog_path, load_file};
+use bench::{sweep_saturation, throughput_series};
 
 fn main() {
+    let sc = load_file(&catalog_path("scenarios/fig6.json")).expect("load fig6 scenario");
     bench::header(
         "fig6",
         "lighttpd, Intel machine: requests/sec/core vs cores",
     );
-    let xs = intel_core_counts();
-    for listen in IMPLS {
-        let cfgs = xs
-            .iter()
-            .map(|c| base_config(Machine::intel80(), *c, listen, ServerKind::lighttpd()))
-            .collect();
+    let xs = sc.cores_list();
+    for &listen in &sc.kinds {
+        let cfgs = xs.iter().map(|&c| sc.config(listen, c, 1.0)).collect();
         let rs = sweep_saturation(cfgs);
         println!();
         print!("{}", throughput_series(listen.label(), &xs, &rs));

@@ -49,11 +49,7 @@ fn main() {
         .field("kill", kill.json)
         .field("flood", flood.json)
         .field("ok", ok);
-    if let Some(parent) = std::path::Path::new(&opts.out).parent() {
-        let _ = std::fs::create_dir_all(parent);
-    }
-    std::fs::write(&opts.out, report.render() + "\n").expect("write report");
-    println!("report: {}", opts.out);
+    bench::write_artifact(&opts.out, &report);
 
     if ok {
         println!("recovery: OK (kill-one-core and SYN-flood gates hold)");
@@ -73,22 +69,14 @@ struct Opts {
 
 impl Opts {
     fn parse() -> Self {
-        let mut opts = Opts {
-            smoke: false,
-            out: "results/recovery.json".to_string(),
+        let mut args = bench::Args::parse("recovery [--smoke] [--out PATH]");
+        let opts = Opts {
+            smoke: args.flag("--smoke"),
+            out: args
+                .value("--out")
+                .unwrap_or_else(|| "results/recovery.json".to_string()),
         };
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            match a.as_str() {
-                "--smoke" => opts.smoke = true,
-                "--out" => {
-                    opts.out = args.next().expect("--out requires a value");
-                }
-                other => {
-                    panic!("unknown argument {other} (usage: recovery [--smoke] [--out PATH])")
-                }
-            }
-        }
+        args.finish();
         opts
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! One binary per table/figure of the paper's evaluation (see DESIGN.md's
 //! experiment index); this library holds what they share: standard run
-//! configurations, a parallel sweep executor, and uniform output helpers.
+//! configurations, the parallel sweep executor and CLI scaffolding
+//! ([`sweep`]), and the declarative scenario catalog ([`scenario`]) the
+//! `scenario` driver binary and `tests/scenarios.rs` run.
 //!
 //! All binaries print plain-text tables via [`metrics::table`] so their
 //! output can be diffed against EXPERIMENTS.md.
@@ -15,6 +17,13 @@ use sim::time::ms;
 use sim::topology::Machine;
 
 pub mod lb;
+pub mod scenario;
+pub mod sweep;
+
+pub use sweep::{
+    check_mode, default_workers, quick_config, sweep_fixed, sweep_fixed_workers, sweep_map,
+    sweep_saturation, write_artifact, Args,
+};
 
 /// The three listen-socket implementations every figure compares.
 pub const IMPLS: [ListenKind; 3] = [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity];
@@ -63,112 +72,6 @@ pub fn base_config(
     cfg.warmup = ms(450);
     cfg.measure = ms(300);
     cfg
-}
-
-/// Runs `configs` through the saturation search in parallel (one OS
-/// thread per hardware thread), preserving input order in the output.
-#[must_use]
-pub fn sweep_saturation(configs: Vec<RunConfig>) -> Vec<RunResult> {
-    sweep_with(configs, default_workers(), |cfg| app::find_saturation(&cfg))
-}
-
-/// Runs `configs` directly (no rate search) in parallel.
-#[must_use]
-pub fn sweep_fixed(configs: Vec<RunConfig>) -> Vec<RunResult> {
-    sweep_fixed_workers(configs, default_workers())
-}
-
-/// [`sweep_fixed`] with an explicit worker-thread count. Results are
-/// returned in input order and must not depend on `workers` — `simcheck`
-/// audits exactly that property at worker counts 1/2/N.
-#[must_use]
-pub fn sweep_fixed_workers(configs: Vec<RunConfig>, workers: usize) -> Vec<RunResult> {
-    sweep_with(configs, workers, checked_run)
-}
-
-/// Default sweep parallelism: one worker per hardware thread.
-#[must_use]
-pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(4)
-}
-
-/// Whether `--check` was passed to the current binary: every figure
-/// binary then verifies the conservation audit of each run it performs,
-/// aborting with the violation list on the first bad run.
-#[must_use]
-pub fn check_mode() -> bool {
-    std::env::args().any(|a| a == "--check")
-}
-
-/// Runs one config, enforcing its conservation audit in `--check` mode.
-fn checked_run(cfg: RunConfig) -> RunResult {
-    let check = check_mode();
-    let label = check.then(|| {
-        format!(
-            "{} {} cores={} rate={} seed={}",
-            cfg.listen.label(),
-            cfg.server.label(),
-            cfg.cores,
-            cfg.conn_rate,
-            cfg.seed
-        )
-    });
-    let r = app::Runner::new(cfg).run();
-    if let Some(label) = label {
-        let violations = r.audit.violations();
-        assert!(
-            violations.is_empty(),
-            "--check: conservation audit failed for [{label}]:\n  {}",
-            violations.join("\n  ")
-        );
-    }
-    r
-}
-
-fn sweep_with<F>(configs: Vec<RunConfig>, workers: usize, f: F) -> Vec<RunResult>
-where
-    F: Fn(RunConfig) -> RunResult + Sync,
-{
-    sweep_map(configs, workers, f)
-}
-
-/// Runs an arbitrary job over each config on a worker pool, preserving
-/// input order in the output (the generic engine behind the sweeps;
-/// `simcheck` uses it directly for its audit pass).
-pub fn sweep_map<T, F>(configs: Vec<RunConfig>, workers: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(RunConfig) -> T + Sync,
-{
-    let n = configs.len();
-    let workers = workers.clamp(1, n.max(1));
-    // A shared work-list plus an mpsc channel: each worker claims the
-    // next un-run config, runs it outside the lock, and sends the result
-    // back tagged with its input index.
-    let jobs: std::sync::Mutex<std::collections::VecDeque<(usize, RunConfig)>> =
-        std::sync::Mutex::new(configs.into_iter().enumerate().collect());
-    let (tx, rx) = std::sync::mpsc::channel();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let jobs = &jobs;
-            let f = &f;
-            s.spawn(move || loop {
-                let job = jobs.lock().expect("sweep queue poisoned").pop_front();
-                let Some((i, cfg)) = job else { break };
-                let r = f(cfg);
-                tx.send((i, r)).expect("receiver alive");
-            });
-        }
-        drop(tx);
-        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        for (i, r) in rx {
-            out[i] = Some(r);
-        }
-        out.into_iter().map(|r| r.expect("all jobs ran")).collect()
-    })
 }
 
 /// Formats a per-core throughput series as the figures print it.

@@ -1,0 +1,2017 @@
+//! The declarative scenario catalog.
+//!
+//! A [`Scenario`] is a complete end-to-end experiment described as data:
+//! machine and core counts, the listen-socket implementations to compare,
+//! workload shape, fault plan, overload plane, hotplug schedule,
+//! event-queue backend, plus the *gates* the outcome must pass (audit
+//! cleanliness, throughput floors, cross-implementation ordering) and the
+//! *golden* fingerprints that pin it bit-for-bit. Scenarios are stored as
+//! JSON files under `scenarios/` (parsed with the repo's own
+//! [`metrics::json`] parser — no serde), run by the `scenario` driver
+//! binary and by `tests/scenarios.rs`, and re-recorded with
+//! `scenario --record` when a simulation change intentionally shifts
+//! fingerprints.
+//!
+//! Every knob defaults to the corresponding [`RunConfig::new`] /
+//! [`Workload::base`] default, so a scenario that sets nothing describes
+//! exactly the run the golden determinism tests pin: the catalog adds no
+//! second source of truth, it points at the existing one.
+
+use app::{ListenKind, RunConfig, RunResult, ServerKind, Workload};
+use metrics::json::Json;
+use sim::events::Backend;
+use sim::fault::{FaultPlan, RetransPolicy, StallWindow};
+use sim::overload::{HotplugEvent, OverloadConfig, ReapPolicy, WatchdogPolicy};
+use sim::time::{ms, us, Cycles, CYCLES_PER_MS, CYCLES_PER_US};
+use sim::topology::Machine;
+use std::path::{Path, PathBuf};
+
+/// Which simulated machine a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineId {
+    /// The paper's 48-core AMD machine.
+    Amd48,
+    /// The paper's 80-core Intel machine.
+    Intel80,
+}
+
+impl MachineId {
+    /// The machine model.
+    #[must_use]
+    pub fn machine(self) -> Machine {
+        match self {
+            MachineId::Amd48 => Machine::amd48(),
+            MachineId::Intel80 => Machine::intel80(),
+        }
+    }
+
+    /// JSON label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineId::Amd48 => "amd48",
+            MachineId::Intel80 => "intel80",
+        }
+    }
+}
+
+/// Which server application a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerId {
+    /// Apache worker MPM.
+    Apache,
+    /// lighttpd event-driven processes.
+    Lighttpd,
+}
+
+impl ServerId {
+    /// The paper-default [`ServerKind`] configuration.
+    #[must_use]
+    pub fn kind(self) -> ServerKind {
+        match self {
+            ServerId::Apache => ServerKind::apache(),
+            ServerId::Lighttpd => ServerKind::lighttpd(),
+        }
+    }
+
+    /// JSON label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerId::Apache => "apache",
+            ServerId::Lighttpd => "lighttpd",
+        }
+    }
+}
+
+/// How each configuration's connection rate is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Search {
+    /// Run at the configured fixed rate (golden-compatible).
+    Fixed,
+    /// Run the saturation search from the rate guess (figures' mode;
+    /// too rate-dependent to pin with goldens).
+    Saturation,
+}
+
+/// The event-queue backend a scenario selects, with the sharded shape's
+/// thread count (shards always equal the simulated core count so shard
+/// hints map 1:1 to cores).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// Hierarchical timer wheel (default).
+    Wheel,
+    /// Binary-heap reference implementation.
+    Heap,
+    /// Sharded per-core wheels drained by real threads.
+    Sharded {
+        /// Drain threads, including the caller; `1` drains serially.
+        threads: u16,
+    },
+}
+
+impl BackendSpec {
+    /// The [`Backend`] for a run with `cores` simulated cores.
+    #[must_use]
+    pub fn backend(self, cores: usize) -> Backend {
+        match self {
+            BackendSpec::Wheel => Backend::Wheel,
+            BackendSpec::Heap => Backend::Heap,
+            BackendSpec::Sharded { threads } => Backend::Sharded {
+                shards: u16::try_from(cores).expect("core count fits u16"),
+                threads,
+            },
+        }
+    }
+}
+
+/// One recorded golden outcome: the combined run fingerprint and total
+/// served requests for one listen kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldenEntry {
+    /// Listen kind the entry pins.
+    pub kind: ListenKind,
+    /// Combined fingerprint over the kind's runs (identity for a
+    /// single-run scenario, so it matches `tests/determinism.rs` values
+    /// directly; an FNV-1a fold otherwise — see [`combine_fingerprints`]).
+    pub fingerprint: u64,
+    /// Total requests served across the kind's runs.
+    pub served: u64,
+}
+
+/// Pass/fail conditions evaluated after a scenario's runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gates {
+    /// Require every run's conservation audit to be violation-free.
+    pub audit_clean: bool,
+    /// Minimum total served requests per listen kind.
+    pub min_served: u64,
+    /// Minimum completed/(completed+timeouts) fraction per kind.
+    pub min_completed_frac: Option<f64>,
+    /// Served-throughput ordering across kinds, best first (e.g.
+    /// `[affinity, fine, stock]` asserts Affinity ≥ Fine ≥ Stock, each
+    /// comparison slackened by [`Gates::ordering_slack`]).
+    pub ordering: Vec<ListenKind>,
+    /// Slack factor for ordering comparisons: `hi ≥ lo * slack`.
+    pub ordering_slack: f64,
+    /// Minimum SYN cookies issued per kind (overload scenarios).
+    pub min_cookies: u64,
+    /// Minimum accept-queue re-home operations per kind (hotplug /
+    /// watchdog scenarios).
+    pub min_rehomes: u64,
+    /// Maximum client timeouts whose connection was owned by a live core
+    /// (the recovery plane's no-collateral-damage bound).
+    pub max_timeouts_live_owner: Option<u64>,
+}
+
+impl Default for Gates {
+    fn default() -> Self {
+        Self {
+            audit_clean: true,
+            min_served: 0,
+            min_completed_frac: None,
+            ordering: Vec::new(),
+            ordering_slack: 0.97,
+            min_cookies: 0,
+            min_rehomes: 0,
+            max_timeouts_live_owner: None,
+        }
+    }
+}
+
+/// A complete declarative experiment. See the module docs; every field's
+/// default matches the corresponding [`RunConfig::new`] default so the
+/// empty scenario reproduces the golden determinism runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Unique catalog name (`[a-z0-9_-]+`; also the report key).
+    pub name: String,
+    /// Free-form description shown in reports.
+    pub description: String,
+    /// Simulated machine.
+    pub machine: MachineId,
+    /// Active cores when [`Scenario::cores_sweep`] is empty.
+    pub cores: usize,
+    /// Core counts to sweep (overrides [`Scenario::cores`] when
+    /// non-empty).
+    pub cores_sweep: Vec<usize>,
+    /// Listen-socket implementations to run.
+    pub kinds: Vec<ListenKind>,
+    /// Server application.
+    pub server: ServerId,
+    /// Rate selection mode.
+    pub search: Search,
+    /// Offered connections/second per core; `None` uses
+    /// [`crate::rate_guess`].
+    pub rate_per_core: Option<f64>,
+    /// Rate multipliers run in sequence (a diurnal load curve is a
+    /// multi-point curve; the default `[1.0]` is one run).
+    pub rate_curve: Vec<f64>,
+    /// Warmup before measurement.
+    pub warmup: Cycles,
+    /// Measurement window.
+    pub measure: Cycles,
+    /// RNG seed.
+    pub seed: u64,
+    /// Tracked `file` objects.
+    pub tracked_files: usize,
+    /// Event-queue backend.
+    pub backend: BackendSpec,
+    /// Client workload shape.
+    pub workload: Workload,
+    /// Connection stealing enabled.
+    pub steal: bool,
+    /// Flow-group migration enabled.
+    pub migrate: bool,
+    /// Fault-injection plan.
+    pub fault: FaultPlan,
+    /// Overload-control plane.
+    pub overload: OverloadConfig,
+    /// Explicit core-hotplug schedule.
+    pub hotplug: Vec<HotplugEvent>,
+    /// Timeline bucket width (0 disables collection).
+    pub timeline_bucket: Cycles,
+    /// Outcome gates.
+    pub gates: Gates,
+    /// Golden fingerprints (empty until `scenario --record`).
+    pub golden: Vec<GoldenEntry>,
+    /// Whether the scenario belongs to the quick smoke subset CI runs on
+    /// every push (the full corpus runs nightly).
+    pub smoke: bool,
+}
+
+impl Scenario {
+    /// A scenario with every knob at its [`RunConfig::new`] default.
+    #[must_use]
+    pub fn base(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            description: String::new(),
+            machine: MachineId::Amd48,
+            cores: 8,
+            cores_sweep: Vec::new(),
+            kinds: crate::IMPLS.to_vec(),
+            server: ServerId::Apache,
+            search: Search::Fixed,
+            rate_per_core: None,
+            rate_curve: vec![1.0],
+            warmup: ms(600),
+            measure: ms(500),
+            seed: 1,
+            tracked_files: 2_000,
+            backend: BackendSpec::Wheel,
+            workload: Workload::base(),
+            steal: true,
+            migrate: true,
+            fault: FaultPlan::none(),
+            overload: OverloadConfig::none(),
+            hotplug: Vec::new(),
+            timeline_bucket: 0,
+            gates: Gates::default(),
+            golden: Vec::new(),
+            smoke: false,
+        }
+    }
+
+    /// The effective core-count list.
+    #[must_use]
+    pub fn cores_list(&self) -> Vec<usize> {
+        if self.cores_sweep.is_empty() {
+            vec![self.cores]
+        } else {
+            self.cores_sweep.clone()
+        }
+    }
+
+    /// Runs each listen kind performs.
+    #[must_use]
+    pub fn runs_per_kind(&self) -> usize {
+        self.cores_list().len() * self.rate_curve.len()
+    }
+
+    /// Whether the scenario can carry golden fingerprints: the saturation
+    /// search picks rates dynamically, so only fixed-rate scenarios pin.
+    #[must_use]
+    pub fn supports_golden(&self) -> bool {
+        self.search == Search::Fixed
+    }
+
+    /// Builds the [`RunConfig`] for one `(kind, cores, rate multiplier)`
+    /// point. With every scenario knob at its default this is exactly
+    /// `RunConfig::new` plus the scenario's windows — the fig6-parity
+    /// test asserts equality against [`crate::base_config`].
+    #[must_use]
+    pub fn config(&self, kind: ListenKind, cores: usize, mult: f64) -> RunConfig {
+        let server = self.server.kind();
+        let rate = self.rate_per_core.map_or_else(
+            || crate::rate_guess(kind, server, cores),
+            |r| r * cores as f64,
+        ) * mult;
+        let mut cfg = RunConfig::new(
+            self.machine.machine(),
+            cores,
+            kind,
+            server,
+            self.workload.clone(),
+            rate,
+        );
+        cfg.warmup = self.warmup;
+        cfg.measure = self.measure;
+        cfg.seed = self.seed;
+        cfg.tracked_files = self.tracked_files;
+        cfg.evq = self.backend.backend(cores);
+        cfg.steal_enabled = self.steal;
+        cfg.migrate_enabled = self.migrate;
+        cfg.fault = self.fault.clone();
+        cfg.overload = self.overload.clone();
+        cfg.hotplug = self.hotplug.clone();
+        cfg.timeline_bucket = self.timeline_bucket;
+        cfg
+    }
+}
+
+/// Folds per-run fingerprints into one scenario-level value. A single
+/// run's fingerprint passes through unchanged (so single-run goldens can
+/// be compared against `tests/determinism.rs` directly); multiple runs
+/// fold byte-wise with FNV-1a in run order.
+#[must_use]
+pub fn combine_fingerprints(fps: &[u64]) -> u64 {
+    if let [only] = fps {
+        return *only;
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for fp in fps {
+        for b in fp.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Parsing. Every helper threads a dotted `path` ("fault.stalls[2].core")
+// so a malformed file fails with the exact key at fault, not a panic.
+// ---------------------------------------------------------------------
+
+fn type_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "bool",
+        Json::U64(_) | Json::I64(_) => "integer",
+        Json::F64(_) => "float",
+        Json::Str(_) => "string",
+        Json::Arr(_) => "array",
+        Json::Obj(_) => "object",
+    }
+}
+
+fn sub(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn want_obj<'a>(v: &'a Json, path: &str) -> Result<&'a [(String, Json)], String> {
+    match v {
+        Json::Obj(fields) => Ok(fields),
+        other => Err(format!("{path}: expected object, got {}", type_name(other))),
+    }
+}
+
+fn want_arr<'a>(v: &'a Json, path: &str) -> Result<&'a [Json], String> {
+    match v {
+        Json::Arr(items) => Ok(items),
+        other => Err(format!("{path}: expected array, got {}", type_name(other))),
+    }
+}
+
+fn want_str<'a>(v: &'a Json, path: &str) -> Result<&'a str, String> {
+    match v {
+        Json::Str(s) => Ok(s),
+        other => Err(format!("{path}: expected string, got {}", type_name(other))),
+    }
+}
+
+fn want_bool(v: &Json, path: &str) -> Result<bool, String> {
+    match v {
+        Json::Bool(b) => Ok(*b),
+        other => Err(format!("{path}: expected bool, got {}", type_name(other))),
+    }
+}
+
+fn want_u64(v: &Json, path: &str) -> Result<u64, String> {
+    match v {
+        Json::U64(n) => Ok(*n),
+        Json::I64(n) if *n >= 0 => Ok(u64::try_from(*n).expect("non-negative")),
+        other => Err(format!(
+            "{path}: expected unsigned integer, got {}",
+            type_name(other)
+        )),
+    }
+}
+
+fn want_usize(v: &Json, path: &str) -> Result<usize, String> {
+    let n = want_u64(v, path)?;
+    usize::try_from(n).map_err(|_| format!("{path}: {n} does not fit usize"))
+}
+
+fn want_u32(v: &Json, path: &str) -> Result<u32, String> {
+    let n = want_u64(v, path)?;
+    u32::try_from(n).map_err(|_| format!("{path}: {n} does not fit u32"))
+}
+
+fn want_u16(v: &Json, path: &str) -> Result<u16, String> {
+    let n = want_u64(v, path)?;
+    u16::try_from(n).map_err(|_| format!("{path}: {n} does not fit u16"))
+}
+
+fn want_f64(v: &Json, path: &str) -> Result<f64, String> {
+    #[allow(clippy::cast_precision_loss)]
+    let n = match v {
+        Json::U64(n) => *n as f64,
+        Json::I64(n) => *n as f64,
+        Json::F64(n) => *n,
+        other => Err(format!("{path}: expected number, got {}", type_name(other)))?,
+    };
+    if !n.is_finite() {
+        return Err(format!("{path}: expected a finite number"));
+    }
+    Ok(n)
+}
+
+fn want_prob(v: &Json, path: &str) -> Result<f64, String> {
+    let p = want_f64(v, path)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{path}: probability {p} out of range [0, 1]"));
+    }
+    Ok(p)
+}
+
+fn want_ms(v: &Json, path: &str) -> Result<Cycles, String> {
+    Ok(ms(want_u64(v, path)?))
+}
+
+fn want_us(v: &Json, path: &str) -> Result<Cycles, String> {
+    Ok(us(want_u64(v, path)?))
+}
+
+fn parse_kind(s: &str, path: &str) -> Result<ListenKind, String> {
+    ListenKind::ALL
+        .into_iter()
+        .find(|k| k.label() == s)
+        .ok_or_else(|| {
+            format!(
+                "{path}: unknown listen kind {s:?} (one of stock/fine/affinity/twenty/busypoll)"
+            )
+        })
+}
+
+fn parse_kinds(v: &Json, path: &str) -> Result<Vec<ListenKind>, String> {
+    if let Json::Str(s) = v {
+        if s == "all" {
+            return Ok(ListenKind::ALL.to_vec());
+        }
+        return Err(format!(
+            "{path}: expected \"all\" or an array of kind labels, got {s:?}"
+        ));
+    }
+    want_arr(v, path)?
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            parse_kind(
+                want_str(k, &format!("{path}[{i}]"))?,
+                &format!("{path}[{i}]"),
+            )
+        })
+        .collect()
+}
+
+fn parse_fingerprint(v: &Json, path: &str) -> Result<u64, String> {
+    let s = want_str(v, path)?;
+    let hex = s.strip_prefix("0x").ok_or_else(|| {
+        format!("{path}: fingerprint must be a 0x-prefixed hex string, got {s:?}")
+    })?;
+    u64::from_str_radix(hex, 16).map_err(|e| format!("{path}: bad hex fingerprint {s:?}: {e}"))
+}
+
+fn parse_workload(v: &Json, path: &str) -> Result<Workload, String> {
+    let mut w = Workload::base();
+    for (k, v) in want_obj(v, path)? {
+        let p = sub(path, k);
+        match k.as_str() {
+            "batches" => {
+                w.batches = want_arr(v, &p)?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| want_u32(b, &format!("{p}[{i}]")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "think_ms" => w.think = want_ms(v, &p)?,
+            "n_files" => w.n_files = want_usize(v, &p)?,
+            "file_scale" => w.file_scale = want_f64(v, &p)?,
+            "timeout_ms" => w.timeout = want_ms(v, &p)?,
+            _ => return Err(format!("{p}: unknown key")),
+        }
+    }
+    Ok(w)
+}
+
+fn parse_fault(v: &Json, path: &str) -> Result<FaultPlan, String> {
+    let mut f = FaultPlan::none();
+    for (k, v) in want_obj(v, path)? {
+        let p = sub(path, k);
+        match k.as_str() {
+            "drop_p" => f.drop_p = want_prob(v, &p)?,
+            "dup_p" => f.dup_p = want_prob(v, &p)?,
+            "reorder_p" => f.reorder_p = want_prob(v, &p)?,
+            "reorder_delay_us" => f.reorder_delay = want_us(v, &p)?,
+            "ring_mask" => f.ring_mask = want_u64(v, &p)?,
+            "syn_overflow_drop" => f.syn_overflow_drop = want_bool(v, &p)?,
+            "retrans" => {
+                let mut r = RetransPolicy::default_policy();
+                for (rk, rv) in want_obj(v, &p)? {
+                    let rp = sub(&p, rk);
+                    match rk.as_str() {
+                        "rto_ms" => r.rto = want_ms(rv, &rp)?,
+                        "max_attempts" => r.max_attempts = want_u32(rv, &rp)?,
+                        _ => return Err(format!("{rp}: unknown key")),
+                    }
+                }
+                f.retrans = Some(r);
+            }
+            "stalls" => {
+                f.stalls = want_arr(v, &p)?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sv)| {
+                        let sp = format!("{p}[{i}]");
+                        let mut s = StallWindow {
+                            core: 0,
+                            at: 0,
+                            dur: 0,
+                        };
+                        for (sk, svv) in want_obj(sv, &sp)? {
+                            let spp = sub(&sp, sk);
+                            match sk.as_str() {
+                                "core" => s.core = want_u16(svv, &spp)?,
+                                "at_ms" => s.at = want_ms(svv, &spp)?,
+                                "dur_us" => s.dur = want_us(svv, &spp)?,
+                                _ => return Err(format!("{spp}: unknown key")),
+                            }
+                        }
+                        Ok(s)
+                    })
+                    .collect::<Result<_, String>>()?;
+            }
+            _ => return Err(format!("{p}: unknown key")),
+        }
+    }
+    Ok(f)
+}
+
+fn parse_overload(v: &Json, path: &str) -> Result<OverloadConfig, String> {
+    let mut o = OverloadConfig::none();
+    for (k, v) in want_obj(v, path)? {
+        let p = sub(path, k);
+        match k.as_str() {
+            "syn_cookies" => o.syn_cookies = want_bool(v, &p)?,
+            "shed_high" => o.shed_high = want_prob(v, &p)?,
+            "shed_low" => o.shed_low = want_prob(v, &p)?,
+            "half_open_cap" => o.half_open_cap = Some(want_usize(v, &p)?),
+            "reap" => {
+                let mut r = ReapPolicy::default_policy();
+                for (rk, rv) in want_obj(v, &p)? {
+                    let rp = sub(&p, rk);
+                    match rk.as_str() {
+                        "ttl_ms" => r.ttl = want_ms(rv, &rp)?,
+                        "synack_retries" => r.synack_retries = want_u32(rv, &rp)?,
+                        _ => return Err(format!("{rp}: unknown key")),
+                    }
+                }
+                o.reap = Some(r);
+            }
+            "watchdog" => {
+                let mut w = WatchdogPolicy::default_policy();
+                for (wk, wv) in want_obj(v, &p)? {
+                    let wp = sub(&p, wk);
+                    match wk.as_str() {
+                        "interval_ms" => w.interval = want_ms(wv, &wp)?,
+                        "dead_after_ms" => w.dead_after = want_ms(wv, &wp)?,
+                        _ => return Err(format!("{wp}: unknown key")),
+                    }
+                }
+                o.watchdog = Some(w);
+            }
+            _ => return Err(format!("{p}: unknown key")),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_hotplug(v: &Json, path: &str) -> Result<Vec<HotplugEvent>, String> {
+    want_arr(v, path)?
+        .iter()
+        .enumerate()
+        .map(|(i, hv)| {
+            let hp = format!("{path}[{i}]");
+            let mut h = HotplugEvent {
+                core: 0,
+                at: 0,
+                up: false,
+            };
+            let mut saw_up = false;
+            for (hk, hvv) in want_obj(hv, &hp)? {
+                let hpp = sub(&hp, hk);
+                match hk.as_str() {
+                    "core" => h.core = want_u16(hvv, &hpp)?,
+                    "at_ms" => h.at = want_ms(hvv, &hpp)?,
+                    "up" => {
+                        h.up = want_bool(hvv, &hpp)?;
+                        saw_up = true;
+                    }
+                    _ => return Err(format!("{hpp}: unknown key")),
+                }
+            }
+            if !saw_up {
+                return Err(format!("{hp}: missing required key \"up\""));
+            }
+            Ok(h)
+        })
+        .collect()
+}
+
+fn parse_backend(v: &Json, path: &str) -> Result<BackendSpec, String> {
+    match v {
+        Json::Str(s) => match s.as_str() {
+            "wheel" => Ok(BackendSpec::Wheel),
+            "heap" => Ok(BackendSpec::Heap),
+            other => Err(format!(
+                "{path}: unknown backend {other:?} (wheel, heap, or {{\"sharded\": threads}})"
+            )),
+        },
+        Json::Obj(fields) => {
+            if let [(k, tv)] = fields.as_slice() {
+                if k == "sharded" {
+                    let threads = want_u16(tv, &sub(path, "sharded"))?;
+                    return Ok(BackendSpec::Sharded { threads });
+                }
+            }
+            Err(format!(
+                "{path}: expected {{\"sharded\": threads}} as the only key"
+            ))
+        }
+        other => Err(format!(
+            "{path}: expected string or object, got {}",
+            type_name(other)
+        )),
+    }
+}
+
+fn parse_gates(v: &Json, path: &str) -> Result<Gates, String> {
+    let mut g = Gates::default();
+    for (k, v) in want_obj(v, path)? {
+        let p = sub(path, k);
+        match k.as_str() {
+            "audit_clean" => g.audit_clean = want_bool(v, &p)?,
+            "min_served" => g.min_served = want_u64(v, &p)?,
+            "min_completed_frac" => g.min_completed_frac = Some(want_prob(v, &p)?),
+            "ordering" => g.ordering = parse_kinds(v, &p)?,
+            "ordering_slack" => {
+                let s = want_f64(v, &p)?;
+                if !(s > 0.0 && s <= 1.0) {
+                    return Err(format!("{p}: slack {s} out of range (0, 1]"));
+                }
+                g.ordering_slack = s;
+            }
+            "min_cookies" => g.min_cookies = want_u64(v, &p)?,
+            "min_rehomes" => g.min_rehomes = want_u64(v, &p)?,
+            "max_timeouts_live_owner" => {
+                g.max_timeouts_live_owner = Some(want_u64(v, &p)?);
+            }
+            _ => return Err(format!("{p}: unknown key")),
+        }
+    }
+    Ok(g)
+}
+
+fn parse_golden(v: &Json, path: &str) -> Result<Vec<GoldenEntry>, String> {
+    want_obj(v, path)?
+        .iter()
+        .map(|(label, gv)| {
+            let p = sub(path, label);
+            let kind = parse_kind(label, &p)?;
+            let mut fingerprint = None;
+            let mut served = None;
+            for (gk, gvv) in want_obj(gv, &p)? {
+                let gp = sub(&p, gk);
+                match gk.as_str() {
+                    "fingerprint" => fingerprint = Some(parse_fingerprint(gvv, &gp)?),
+                    "served" => served = Some(want_u64(gvv, &gp)?),
+                    _ => return Err(format!("{gp}: unknown key")),
+                }
+            }
+            Ok(GoldenEntry {
+                kind,
+                fingerprint: fingerprint
+                    .ok_or_else(|| format!("{p}: missing required key \"fingerprint\""))?,
+                served: served.ok_or_else(|| format!("{p}: missing required key \"served\""))?,
+            })
+        })
+        .collect()
+}
+
+impl Scenario {
+    /// Parses a scenario document. Unknown keys, wrong types and
+    /// out-of-range values fail with the dotted path of the offending
+    /// key.
+    ///
+    /// # Errors
+    ///
+    /// Returns a path-qualified message on malformed JSON, unknown keys,
+    /// type mismatches, and semantic violations ([`Scenario::validate`]).
+    pub fn parse_str(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text)?;
+        Self::from_json(&doc)
+    }
+
+    /// Parses a scenario from an already-parsed JSON document.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scenario::parse_str`].
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let fields = want_obj(doc, "scenario")?;
+        let mut s = Scenario::base("");
+        for (k, v) in fields {
+            let p = sub("", k);
+            match k.as_str() {
+                "name" => s.name = want_str(v, &p)?.to_string(),
+                "description" => s.description = want_str(v, &p)?.to_string(),
+                "machine" => {
+                    s.machine = match want_str(v, &p)? {
+                        "amd48" => MachineId::Amd48,
+                        "intel80" => MachineId::Intel80,
+                        other => {
+                            return Err(format!(
+                                "{p}: unknown machine {other:?} (amd48 or intel80)"
+                            ))
+                        }
+                    };
+                }
+                "cores" => s.cores = want_usize(v, &p)?,
+                "cores_sweep" => {
+                    s.cores_sweep = want_arr(v, &p)?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| want_usize(c, &format!("{p}[{i}]")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "kinds" => s.kinds = parse_kinds(v, &p)?,
+                "server" => {
+                    s.server = match want_str(v, &p)? {
+                        "apache" => ServerId::Apache,
+                        "lighttpd" => ServerId::Lighttpd,
+                        other => {
+                            return Err(format!(
+                                "{p}: unknown server {other:?} (apache or lighttpd)"
+                            ))
+                        }
+                    };
+                }
+                "search" => {
+                    s.search = match want_str(v, &p)? {
+                        "fixed" => Search::Fixed,
+                        "saturation" => Search::Saturation,
+                        other => {
+                            return Err(format!(
+                                "{p}: unknown search {other:?} (fixed or saturation)"
+                            ))
+                        }
+                    };
+                }
+                "rate_per_core" => s.rate_per_core = Some(want_f64(v, &p)?),
+                "rate_curve" => {
+                    s.rate_curve = want_arr(v, &p)?
+                        .iter()
+                        .enumerate()
+                        .map(|(i, m)| want_f64(m, &format!("{p}[{i}]")))
+                        .collect::<Result<_, _>>()?;
+                }
+                "warmup_ms" => s.warmup = want_ms(v, &p)?,
+                "measure_ms" => s.measure = want_ms(v, &p)?,
+                "seed" => s.seed = want_u64(v, &p)?,
+                "tracked_files" => s.tracked_files = want_usize(v, &p)?,
+                "backend" => s.backend = parse_backend(v, &p)?,
+                "workload" => s.workload = parse_workload(v, &p)?,
+                "steal" => s.steal = want_bool(v, &p)?,
+                "migrate" => s.migrate = want_bool(v, &p)?,
+                "fault" => s.fault = parse_fault(v, &p)?,
+                "overload" => s.overload = parse_overload(v, &p)?,
+                "hotplug" => s.hotplug = parse_hotplug(v, &p)?,
+                "timeline_bucket_ms" => s.timeline_bucket = want_ms(v, &p)?,
+                "gates" => s.gates = parse_gates(v, &p)?,
+                "golden" => s.golden = parse_golden(v, &p)?,
+                "smoke" => s.smoke = want_bool(v, &p)?,
+                _ => return Err(format!("{p}: unknown key")),
+            }
+        }
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Semantic validation beyond per-field types.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint, path-qualified.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty()
+            || !self
+                .name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+        {
+            return Err(format!(
+                "name: {:?} must be non-empty [a-z0-9_-]+",
+                self.name
+            ));
+        }
+        let n_cores = self.machine.machine().n_cores;
+        let check_cores = |c: usize, p: &str| {
+            if c < 1 || c > n_cores {
+                return Err(format!(
+                    "{p}: {c} out of range 1..={n_cores} for machine {}",
+                    self.machine.label()
+                ));
+            }
+            Ok(())
+        };
+        check_cores(self.cores, "cores")?;
+        for (i, &c) in self.cores_sweep.iter().enumerate() {
+            check_cores(c, &format!("cores_sweep[{i}]"))?;
+        }
+        if self.kinds.is_empty() {
+            return Err("kinds: must name at least one listen kind".to_string());
+        }
+        for (i, k) in self.kinds.iter().enumerate() {
+            if self.kinds[..i].contains(k) {
+                return Err(format!("kinds[{i}]: duplicate kind {:?}", k.label()));
+            }
+        }
+        if let Some(r) = self.rate_per_core {
+            if r <= 0.0 || r.is_nan() {
+                return Err(format!("rate_per_core: {r} must be positive"));
+            }
+        }
+        if self.rate_curve.is_empty() {
+            return Err("rate_curve: must hold at least one multiplier".to_string());
+        }
+        for (i, &m) in self.rate_curve.iter().enumerate() {
+            if m <= 0.0 || !m.is_finite() {
+                return Err(format!(
+                    "rate_curve[{i}]: {m} must be a positive finite number"
+                ));
+            }
+        }
+        if self.measure == 0 {
+            return Err("measure_ms: must be positive".to_string());
+        }
+        if self.tracked_files == 0 {
+            return Err("tracked_files: must be positive".to_string());
+        }
+        if let BackendSpec::Sharded { threads } = self.backend {
+            if !(1..=64).contains(&threads) {
+                return Err(format!("backend.sharded: {threads} out of range 1..=64"));
+            }
+        }
+        if self.workload.batches.is_empty() {
+            return Err("workload.batches: must hold at least one batch".to_string());
+        }
+        for (i, &b) in self.workload.batches.iter().enumerate() {
+            if b == 0 {
+                return Err(format!("workload.batches[{i}]: batches must be >= 1"));
+            }
+        }
+        if self.workload.n_files == 0 {
+            return Err("workload.n_files: must be positive".to_string());
+        }
+        if self.workload.file_scale <= 0.0 || !self.workload.file_scale.is_finite() {
+            return Err(format!(
+                "workload.file_scale: {} must be a positive finite number",
+                self.workload.file_scale
+            ));
+        }
+        if self.workload.timeout == 0 {
+            return Err("workload.timeout_ms: must be positive".to_string());
+        }
+        if let Some(r) = self.fault.retrans {
+            if r.rto == 0 || r.max_attempts == 0 {
+                return Err("fault.retrans: rto_ms and max_attempts must be positive".to_string());
+            }
+        }
+        if self.overload.shed_low >= self.overload.shed_high {
+            return Err(format!(
+                "overload: shed_low {} must be below shed_high {}",
+                self.overload.shed_low, self.overload.shed_high
+            ));
+        }
+        if !self.gates.ordering.is_empty() {
+            if self.gates.ordering.len() < 2 {
+                return Err("gates.ordering: needs at least two kinds to order".to_string());
+            }
+            for (i, k) in self.gates.ordering.iter().enumerate() {
+                if !self.kinds.contains(k) {
+                    return Err(format!(
+                        "gates.ordering[{i}]: kind {:?} not in this scenario's kinds",
+                        k.label()
+                    ));
+                }
+                if self.gates.ordering[..i].contains(k) {
+                    return Err(format!(
+                        "gates.ordering[{i}]: duplicate kind {:?}",
+                        k.label()
+                    ));
+                }
+            }
+        }
+        for g in &self.golden {
+            if !self.kinds.contains(&g.kind) {
+                return Err(format!(
+                    "golden.{}: kind not in this scenario's kinds",
+                    g.kind.label()
+                ));
+            }
+        }
+        if !self.golden.is_empty() && !self.supports_golden() {
+            return Err(
+                "golden: saturation-search scenarios cannot pin fingerprints (search picks \
+                 rates dynamically); use search \"fixed\""
+                    .to_string(),
+            );
+        }
+        let granular = [
+            (self.warmup, CYCLES_PER_MS, "warmup_ms"),
+            (self.measure, CYCLES_PER_MS, "measure_ms"),
+            (self.workload.think, CYCLES_PER_MS, "workload.think_ms"),
+            (self.workload.timeout, CYCLES_PER_MS, "workload.timeout_ms"),
+            (self.timeline_bucket, CYCLES_PER_MS, "timeline_bucket_ms"),
+            (
+                self.fault.reorder_delay,
+                CYCLES_PER_US,
+                "fault.reorder_delay_us",
+            ),
+        ];
+        for (v, unit, label) in granular {
+            if v % unit != 0 {
+                return Err(format!("{label}: {v} cycles is not unit-granular"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the scenario back to its canonical JSON document:
+    /// `parse(render(s)) == s` for every valid scenario (the proptest
+    /// round-trip property).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let kinds_json = if self.kinds == ListenKind::ALL {
+            Json::Str("all".to_string())
+        } else {
+            Json::Arr(self.kinds.iter().map(|k| Json::from(k.label())).collect())
+        };
+        let mut doc = Json::obj().field("name", self.name.as_str());
+        if !self.description.is_empty() {
+            doc = doc.field("description", self.description.as_str());
+        }
+        doc = doc
+            .field("machine", self.machine.label())
+            .field("cores", self.cores);
+        if !self.cores_sweep.is_empty() {
+            doc = doc.field(
+                "cores_sweep",
+                Json::Arr(self.cores_sweep.iter().map(|&c| Json::from(c)).collect()),
+            );
+        }
+        doc = doc
+            .field("kinds", kinds_json)
+            .field("server", self.server.label())
+            .field(
+                "search",
+                match self.search {
+                    Search::Fixed => "fixed",
+                    Search::Saturation => "saturation",
+                },
+            );
+        if let Some(r) = self.rate_per_core {
+            doc = doc.field("rate_per_core", r);
+        }
+        doc = doc
+            .field(
+                "rate_curve",
+                Json::Arr(self.rate_curve.iter().map(|&m| Json::from(m)).collect()),
+            )
+            .field("warmup_ms", self.warmup / CYCLES_PER_MS)
+            .field("measure_ms", self.measure / CYCLES_PER_MS)
+            .field("seed", self.seed)
+            .field("tracked_files", self.tracked_files)
+            .field(
+                "backend",
+                match self.backend {
+                    BackendSpec::Wheel => Json::Str("wheel".to_string()),
+                    BackendSpec::Heap => Json::Str("heap".to_string()),
+                    BackendSpec::Sharded { threads } => {
+                        Json::obj().field("sharded", u64::from(threads))
+                    }
+                },
+            )
+            .field(
+                "workload",
+                Json::obj()
+                    .field(
+                        "batches",
+                        Json::Arr(
+                            self.workload
+                                .batches
+                                .iter()
+                                .map(|&b| Json::from(b))
+                                .collect(),
+                        ),
+                    )
+                    .field("think_ms", self.workload.think / CYCLES_PER_MS)
+                    .field("n_files", self.workload.n_files)
+                    .field("file_scale", self.workload.file_scale)
+                    .field("timeout_ms", self.workload.timeout / CYCLES_PER_MS),
+            )
+            .field("steal", self.steal)
+            .field("migrate", self.migrate);
+        doc = doc.field("fault", fault_json(&self.fault));
+        doc = doc.field("overload", overload_json(&self.overload));
+        if !self.hotplug.is_empty() {
+            doc = doc.field(
+                "hotplug",
+                Json::Arr(
+                    self.hotplug
+                        .iter()
+                        .map(|h| {
+                            Json::obj()
+                                .field("core", u64::from(h.core))
+                                .field("at_ms", h.at / CYCLES_PER_MS)
+                                .field("up", h.up)
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        doc = doc
+            .field("timeline_bucket_ms", self.timeline_bucket / CYCLES_PER_MS)
+            .field("gates", gates_json(&self.gates));
+        if !self.golden.is_empty() {
+            doc = doc.field("golden", golden_json(&self.golden));
+        }
+        doc.field("smoke", self.smoke)
+    }
+}
+
+fn fault_json(f: &FaultPlan) -> Json {
+    let mut j = Json::obj()
+        .field("drop_p", f.drop_p)
+        .field("dup_p", f.dup_p)
+        .field("reorder_p", f.reorder_p)
+        .field("reorder_delay_us", f.reorder_delay / CYCLES_PER_US)
+        .field("ring_mask", f.ring_mask)
+        .field("syn_overflow_drop", f.syn_overflow_drop);
+    if let Some(r) = f.retrans {
+        j = j.field(
+            "retrans",
+            Json::obj()
+                .field("rto_ms", r.rto / CYCLES_PER_MS)
+                .field("max_attempts", r.max_attempts),
+        );
+    }
+    if !f.stalls.is_empty() {
+        j = j.field(
+            "stalls",
+            Json::Arr(
+                f.stalls
+                    .iter()
+                    .map(|s| {
+                        Json::obj()
+                            .field("core", u64::from(s.core))
+                            .field("at_ms", s.at / CYCLES_PER_MS)
+                            .field("dur_us", s.dur / CYCLES_PER_US)
+                    })
+                    .collect(),
+            ),
+        );
+    }
+    j
+}
+
+fn overload_json(o: &OverloadConfig) -> Json {
+    let mut j = Json::obj()
+        .field("syn_cookies", o.syn_cookies)
+        .field("shed_high", o.shed_high)
+        .field("shed_low", o.shed_low);
+    if let Some(cap) = o.half_open_cap {
+        j = j.field("half_open_cap", cap);
+    }
+    if let Some(r) = o.reap {
+        j = j.field(
+            "reap",
+            Json::obj()
+                .field("ttl_ms", r.ttl / CYCLES_PER_MS)
+                .field("synack_retries", r.synack_retries),
+        );
+    }
+    if let Some(w) = o.watchdog {
+        j = j.field(
+            "watchdog",
+            Json::obj()
+                .field("interval_ms", w.interval / CYCLES_PER_MS)
+                .field("dead_after_ms", w.dead_after / CYCLES_PER_MS),
+        );
+    }
+    j
+}
+
+fn gates_json(g: &Gates) -> Json {
+    let mut j = Json::obj()
+        .field("audit_clean", g.audit_clean)
+        .field("min_served", g.min_served);
+    if let Some(f) = g.min_completed_frac {
+        j = j.field("min_completed_frac", f);
+    }
+    if !g.ordering.is_empty() {
+        j = j.field(
+            "ordering",
+            Json::Arr(g.ordering.iter().map(|k| Json::from(k.label())).collect()),
+        );
+    }
+    j = j
+        .field("ordering_slack", g.ordering_slack)
+        .field("min_cookies", g.min_cookies)
+        .field("min_rehomes", g.min_rehomes);
+    if let Some(cap) = g.max_timeouts_live_owner {
+        j = j.field("max_timeouts_live_owner", cap);
+    }
+    j
+}
+
+fn golden_json(golden: &[GoldenEntry]) -> Json {
+    Json::Obj(
+        golden
+            .iter()
+            .map(|g| {
+                (
+                    g.kind.label().to_string(),
+                    Json::obj()
+                        .field("fingerprint", format!("{:#018x}", g.fingerprint))
+                        .field("served", g.served),
+                )
+            })
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Running and gate evaluation.
+// ---------------------------------------------------------------------
+
+/// One run's headline numbers inside a [`KindReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Active cores.
+    pub cores: usize,
+    /// Offered connection rate (the searched rate's starting guess under
+    /// saturation search).
+    pub rate: f64,
+    /// Requests served in the window.
+    pub served: u64,
+    /// Served per second per core.
+    pub rps_per_core: f64,
+    /// Run fingerprint.
+    pub fingerprint: u64,
+    /// Events the run loop dispatched.
+    pub events: u64,
+}
+
+/// Aggregated outcome of one listen kind's runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KindReport {
+    /// Listen kind.
+    pub kind: ListenKind,
+    /// Total served requests.
+    pub served: u64,
+    /// Total client-completed connections.
+    pub completed: u64,
+    /// Total client-abandoned connections.
+    pub timeouts: u64,
+    /// Combined fingerprint over the runs ([`combine_fingerprints`]).
+    pub fingerprint: u64,
+    /// SYN cookies issued.
+    pub cookies: u64,
+    /// Accept-queue re-home operations.
+    pub rehomes: u64,
+    /// Client timeouts on live-owner established connections.
+    pub timeouts_live_owner: u64,
+    /// Conservation-audit violations across all runs (empty = clean).
+    pub audit: Vec<String>,
+    /// Per-run summaries in `(cores, rate multiplier)` order.
+    pub runs: Vec<RunSummary>,
+}
+
+impl KindReport {
+    fn from_results(kind: ListenKind, rs: &[(usize, f64, RunResult)]) -> Self {
+        let fps: Vec<u64> = rs.iter().map(|(_, _, r)| r.fingerprint).collect();
+        Self {
+            kind,
+            served: rs.iter().map(|(_, _, r)| r.served).sum(),
+            completed: rs.iter().map(|(_, _, r)| r.conns_completed).sum(),
+            timeouts: rs.iter().map(|(_, _, r)| r.timeouts).sum(),
+            fingerprint: combine_fingerprints(&fps),
+            cookies: rs.iter().map(|(_, _, r)| r.overload.cookies_issued).sum(),
+            rehomes: rs.iter().map(|(_, _, r)| r.overload.rehome_ops).sum(),
+            timeouts_live_owner: rs.iter().map(|(_, _, r)| r.timeouts_live_owner).sum(),
+            audit: rs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, (_, _, r))| {
+                    r.audit
+                        .violations()
+                        .into_iter()
+                        .map(move |v| format!("{} run[{i}]: {v}", kind.label()))
+                })
+                .collect(),
+            runs: rs
+                .iter()
+                .map(|&(cores, rate, ref r)| RunSummary {
+                    cores,
+                    rate,
+                    served: r.served,
+                    rps_per_core: r.rps_per_core,
+                    fingerprint: r.fingerprint,
+                    events: r.events_executed,
+                })
+                .collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .field("kind", self.kind.label())
+            .field("served", self.served)
+            .field("completed", self.completed)
+            .field("timeouts", self.timeouts)
+            .field("fingerprint", format!("{:#018x}", self.fingerprint))
+            .field("cookies", self.cookies)
+            .field("rehomes", self.rehomes)
+            .field("timeouts_live_owner", self.timeouts_live_owner)
+            .field(
+                "audit_violations",
+                Json::Arr(self.audit.iter().map(|v| Json::from(v.as_str())).collect()),
+            )
+            .field(
+                "runs",
+                Json::Arr(
+                    self.runs
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .field("cores", r.cores)
+                                .field("rate", r.rate)
+                                .field("served", r.served)
+                                .field("rps_per_core", r.rps_per_core)
+                                .field("fingerprint", format!("{:#018x}", r.fingerprint))
+                                .field("events", r.events)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+/// The outcome of running one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// Violated gates and golden mismatches; empty means the scenario
+    /// passed.
+    pub problems: Vec<String>,
+    /// Per-kind aggregates.
+    pub kinds: Vec<KindReport>,
+}
+
+impl ScenarioReport {
+    /// Whether every gate and golden held.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.problems.is_empty()
+    }
+
+    /// The report as a JSON object (one element of the driver artifact's
+    /// `scenarios` array).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("scenario", self.name.as_str())
+            .field("ok", self.ok())
+            .field(
+                "problems",
+                Json::Arr(
+                    self.problems
+                        .iter()
+                        .map(|p| Json::from(p.as_str()))
+                        .collect(),
+                ),
+            )
+            .field(
+                "kinds",
+                Json::Arr(self.kinds.iter().map(KindReport::to_json).collect()),
+            )
+    }
+}
+
+impl Scenario {
+    /// Runs the scenario on `workers` sweep threads and evaluates its
+    /// gates and goldens.
+    #[must_use]
+    pub fn run(&self, workers: usize) -> ScenarioReport {
+        let cores_list = self.cores_list();
+        let runs_per_kind = self.runs_per_kind();
+        let mut cfgs = Vec::with_capacity(self.kinds.len() * runs_per_kind);
+        for &kind in &self.kinds {
+            for &cores in &cores_list {
+                for &mult in &self.rate_curve {
+                    cfgs.push(self.config(kind, cores, mult));
+                }
+            }
+        }
+        let shapes: Vec<(usize, f64)> = cfgs.iter().map(|c| (c.cores, c.conn_rate)).collect();
+        let results = match self.search {
+            Search::Saturation => crate::sweep_map(cfgs, workers, |cfg| app::find_saturation(&cfg)),
+            Search::Fixed => crate::sweep_fixed_workers(cfgs, workers),
+        };
+        let tagged: Vec<(usize, f64, RunResult)> = shapes
+            .into_iter()
+            .zip(results)
+            .map(|((cores, rate), r)| (cores, rate, r))
+            .collect();
+        let kinds: Vec<KindReport> = self
+            .kinds
+            .iter()
+            .enumerate()
+            .map(|(ki, &kind)| {
+                KindReport::from_results(
+                    kind,
+                    &tagged[ki * runs_per_kind..(ki + 1) * runs_per_kind],
+                )
+            })
+            .collect();
+        let problems = self.evaluate(&kinds);
+        ScenarioReport {
+            name: self.name.clone(),
+            problems,
+            kinds,
+        }
+    }
+
+    /// Evaluates gates and goldens against per-kind aggregates; returns
+    /// the violations.
+    #[must_use]
+    pub fn evaluate(&self, kinds: &[KindReport]) -> Vec<String> {
+        let g = &self.gates;
+        let mut problems = Vec::new();
+        for kr in kinds {
+            let lbl = kr.kind.label();
+            if g.audit_clean && !kr.audit.is_empty() {
+                problems.push(format!(
+                    "{lbl}: conservation audit violations:\n  {}",
+                    kr.audit.join("\n  ")
+                ));
+            }
+            if kr.served < g.min_served {
+                problems.push(format!(
+                    "{lbl}: served {} below gate min_served {}",
+                    kr.served, g.min_served
+                ));
+            }
+            if let Some(floor) = g.min_completed_frac {
+                let total = kr.completed + kr.timeouts;
+                #[allow(clippy::cast_precision_loss)]
+                let frac = if total == 0 {
+                    0.0
+                } else {
+                    kr.completed as f64 / total as f64
+                };
+                if frac < floor {
+                    problems.push(format!(
+                        "{lbl}: completed fraction {frac:.4} ({}/{total}) below gate \
+                         min_completed_frac {floor}",
+                        kr.completed
+                    ));
+                }
+            }
+            if kr.cookies < g.min_cookies {
+                problems.push(format!(
+                    "{lbl}: {} SYN cookies issued, gate requires >= {}",
+                    kr.cookies, g.min_cookies
+                ));
+            }
+            if kr.rehomes < g.min_rehomes {
+                problems.push(format!(
+                    "{lbl}: {} re-home ops, gate requires >= {}",
+                    kr.rehomes, g.min_rehomes
+                ));
+            }
+            if let Some(cap) = g.max_timeouts_live_owner {
+                if kr.timeouts_live_owner > cap {
+                    problems.push(format!(
+                        "{lbl}: {} live-owner timeouts exceed gate max {cap}",
+                        kr.timeouts_live_owner
+                    ));
+                }
+            }
+        }
+        let served_of = |k: ListenKind| kinds.iter().find(|kr| kr.kind == k).map(|kr| kr.served);
+        for pair in g.ordering.windows(2) {
+            let (hi, lo) = (pair[0], pair[1]);
+            if let (Some(sh), Some(sl)) = (served_of(hi), served_of(lo)) {
+                #[allow(clippy::cast_precision_loss)]
+                if (sh as f64) < sl as f64 * g.ordering_slack {
+                    problems.push(format!(
+                        "ordering gate: {} served {sh} < {} x {} served {sl}",
+                        hi.label(),
+                        g.ordering_slack,
+                        lo.label()
+                    ));
+                }
+            }
+        }
+        // The `fast` feature compiles the fingerprint plane to a no-op
+        // (fingerprints read 0), so goldens are only meaningful in the
+        // instrumented build.
+        if !cfg!(feature = "fast") {
+            for ge in &self.golden {
+                let Some(kr) = kinds.iter().find(|kr| kr.kind == ge.kind) else {
+                    continue;
+                };
+                if kr.fingerprint != ge.fingerprint || kr.served != ge.served {
+                    problems.push(format!(
+                        "golden mismatch for {}: fingerprint {:#018x} (recorded {:#018x}), \
+                         served {} (recorded {}) — if the change is intentional, re-record \
+                         with `scenario --record`",
+                        ge.kind.label(),
+                        kr.fingerprint,
+                        ge.fingerprint,
+                        kr.served,
+                        ge.served
+                    ));
+                }
+            }
+        }
+        problems
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog I/O.
+// ---------------------------------------------------------------------
+
+/// Resolves a catalog path relative to the repo root: tries the working
+/// directory first (how the binaries are run), then falls back to the
+/// source checkout (how `cargo test` runs, with the crate directory as
+/// the working directory).
+#[must_use]
+pub fn catalog_path(rel: &str) -> PathBuf {
+    let p = PathBuf::from(rel);
+    if p.exists() {
+        return p;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(rel)
+}
+
+/// Loads one scenario file.
+///
+/// # Errors
+///
+/// I/O and parse errors, prefixed with the file path.
+pub fn load_file(path: &Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Scenario::parse_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Loads every `*.json` scenario in a directory, sorted by file name.
+///
+/// # Errors
+///
+/// I/O and parse errors, an empty directory, and duplicate scenario
+/// names.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, Scenario)>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("{}: no *.json scenarios found", dir.display()));
+    }
+    let mut out = Vec::with_capacity(paths.len());
+    let mut seen: Vec<String> = Vec::new();
+    for p in paths {
+        let s = load_file(&p)?;
+        if seen.contains(&s.name) {
+            return Err(format!(
+                "{}: duplicate scenario name {:?}",
+                p.display(),
+                s.name
+            ));
+        }
+        seen.push(s.name.clone());
+        out.push((p, s));
+    }
+    Ok(out)
+}
+
+/// Rewrites the `golden` key of a scenario file in place from a report's
+/// measured values, leaving every other key untouched (the file is
+/// re-rendered pretty, so hand-kept comments are not supported — the
+/// format has none).
+///
+/// # Errors
+///
+/// I/O and parse errors, prefixed with the file path.
+pub fn record_golden(path: &Path, report: &ScenarioReport) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let entries: Vec<GoldenEntry> = report
+        .kinds
+        .iter()
+        .map(|kr| GoldenEntry {
+            kind: kr.kind,
+            fingerprint: kr.fingerprint,
+            served: kr.served,
+        })
+        .collect();
+    let golden = golden_json(&entries);
+    match &mut doc {
+        Json::Obj(fields) => {
+            if let Some(slot) = fields.iter_mut().find(|(k, _)| k == "golden") {
+                slot.1 = golden;
+            } else {
+                fields.push(("golden".to_string(), golden));
+            }
+        }
+        _ => return Err(format!("{}: top level is not an object", path.display())),
+    }
+    std::fs::write(path, doc.render_pretty()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use sim::rng::SimRng;
+
+    #[test]
+    fn base_scenario_round_trips_and_validates() {
+        let s = Scenario::base("base-1");
+        s.validate().expect("base is valid");
+        let text = s.to_json().render();
+        let back = Scenario::parse_str(&text).expect("canonical render parses");
+        assert_eq!(back, s);
+        // Pretty form parses to the same scenario too (the corpus format).
+        let pretty = s.to_json().render_pretty();
+        assert_eq!(Scenario::parse_str(&pretty).expect("pretty parses"), s);
+    }
+
+    #[test]
+    fn default_config_is_exactly_runconfig_new() {
+        let s = Scenario::base("defaults");
+        let got = s.config(ListenKind::Affinity, 8, 1.0);
+        let want = RunConfig::new(
+            Machine::amd48(),
+            8,
+            ListenKind::Affinity,
+            ServerKind::apache(),
+            Workload::base(),
+            crate::rate_guess(ListenKind::Affinity, ServerKind::apache(), 8),
+        );
+        assert_eq!(got, want, "empty scenario must mean the seed defaults");
+    }
+
+    #[test]
+    fn kitchen_sink_round_trips() {
+        let mut s = Scenario::base("kitchen_sink");
+        s.description = "every knob set".to_string();
+        s.machine = MachineId::Intel80;
+        s.cores = 64;
+        s.cores_sweep = vec![1, 16, 80];
+        s.kinds = vec![ListenKind::Affinity, ListenKind::Twenty];
+        s.server = ServerId::Lighttpd;
+        s.rate_per_core = Some(1234.5);
+        s.rate_curve = vec![0.5, 1.0, 0.75];
+        s.warmup = ms(120);
+        s.measure = ms(250);
+        s.seed = 42;
+        s.tracked_files = 300;
+        s.backend = BackendSpec::Sharded { threads: 4 };
+        s.workload = Workload {
+            batches: vec![2, 4],
+            think: ms(50),
+            n_files: 500,
+            file_scale: 2.5,
+            timeout: ms(4000),
+        };
+        s.steal = false;
+        s.migrate = false;
+        s.fault = FaultPlan {
+            drop_p: 0.01,
+            dup_p: 0.02,
+            reorder_p: 0.03,
+            reorder_delay: us(400),
+            ring_mask: 0b1010,
+            syn_overflow_drop: true,
+            retrans: Some(RetransPolicy {
+                rto: ms(40),
+                max_attempts: 4,
+            }),
+            stalls: vec![StallWindow {
+                core: 3,
+                at: ms(100),
+                dur: us(5000),
+            }],
+        };
+        s.overload = OverloadConfig {
+            syn_cookies: true,
+            shed_high: 0.8,
+            shed_low: 0.2,
+            half_open_cap: Some(4096),
+            reap: Some(ReapPolicy {
+                ttl: ms(30),
+                synack_retries: 2,
+            }),
+            watchdog: Some(WatchdogPolicy {
+                interval: ms(5),
+                dead_after: ms(60),
+            }),
+        };
+        s.hotplug = vec![
+            HotplugEvent {
+                core: 2,
+                at: ms(150),
+                up: false,
+            },
+            HotplugEvent {
+                core: 2,
+                at: ms(300),
+                up: true,
+            },
+        ];
+        s.timeline_bucket = ms(10);
+        s.gates = Gates {
+            audit_clean: true,
+            min_served: 1000,
+            min_completed_frac: Some(0.9),
+            ordering: vec![ListenKind::Affinity, ListenKind::Twenty],
+            ordering_slack: 0.95,
+            min_cookies: 5,
+            min_rehomes: 1,
+            max_timeouts_live_owner: Some(0),
+        };
+        s.golden = vec![GoldenEntry {
+            kind: ListenKind::Affinity,
+            fingerprint: 0x0123_4567_89ab_cdef,
+            served: 7266,
+        }];
+        s.smoke = true;
+        s.validate().expect("kitchen sink is valid");
+        let back = Scenario::parse_str(&s.to_json().render()).expect("parses");
+        assert_eq!(back, s);
+    }
+
+    /// Builds a random *valid* scenario from a seeded [`SimRng`] (the
+    /// vendored proptest stub has no structured strategies, so the
+    /// randomness comes from the seed it feeds us).
+    fn arb_scenario(seed: u64) -> Scenario {
+        let mut rng = SimRng::new(seed ^ 0x5ce7_a810);
+        let mut s = Scenario::base("gen");
+        s.name = format!("gen-{}", seed % 1000);
+        if rng.chance(0.5) {
+            s.description = "generated".to_string();
+        }
+        s.machine = if rng.chance(0.5) {
+            MachineId::Amd48
+        } else {
+            MachineId::Intel80
+        };
+        let n_cores = s.machine.machine().n_cores;
+        s.cores = 1 + rng.index(n_cores);
+        if rng.chance(0.3) {
+            s.cores_sweep = (0..=rng.index(3)).map(|_| 1 + rng.index(n_cores)).collect();
+        }
+        let mut kinds: Vec<ListenKind> = ListenKind::ALL
+            .into_iter()
+            .filter(|_| rng.chance(0.5))
+            .collect();
+        if kinds.is_empty() {
+            kinds.push(ListenKind::Affinity);
+        }
+        s.kinds = kinds;
+        s.server = if rng.chance(0.5) {
+            ServerId::Apache
+        } else {
+            ServerId::Lighttpd
+        };
+        s.search = if rng.chance(0.2) {
+            Search::Saturation
+        } else {
+            Search::Fixed
+        };
+        if rng.chance(0.5) {
+            s.rate_per_core = Some(100.0 + rng.index(10_000) as f64);
+        }
+        if rng.chance(0.3) {
+            s.rate_curve = (0..=rng.index(3))
+                .map(|_| 0.25 * (1 + rng.index(8)) as f64)
+                .collect();
+        }
+        s.warmup = ms(rng.below(1000));
+        s.measure = ms(1 + rng.below(1000));
+        s.seed = rng.next_u64();
+        s.tracked_files = 1 + rng.index(5000);
+        s.backend = match rng.index(3) {
+            0 => BackendSpec::Wheel,
+            1 => BackendSpec::Heap,
+            _ => BackendSpec::Sharded {
+                threads: 1 + rng.below(8) as u16,
+            },
+        };
+        s.workload.batches = (0..=rng.index(3))
+            .map(|_| 1 + rng.below(6) as u32)
+            .collect();
+        s.workload.think = ms(rng.below(500));
+        s.workload.n_files = 1 + rng.index(30_000);
+        s.workload.file_scale = 0.5 * (1 + rng.index(6)) as f64;
+        s.workload.timeout = ms(1 + rng.below(20_000));
+        s.steal = rng.chance(0.5);
+        s.migrate = rng.chance(0.5);
+        if rng.chance(0.5) {
+            s.fault.drop_p = rng.index(100) as f64 / 100.0;
+            s.fault.dup_p = rng.index(100) as f64 / 100.0;
+            s.fault.reorder_p = rng.index(100) as f64 / 100.0;
+            s.fault.reorder_delay = us(rng.below(1000));
+            s.fault.ring_mask = rng.next_u64();
+            s.fault.syn_overflow_drop = rng.chance(0.5);
+            if rng.chance(0.5) {
+                s.fault.retrans = Some(RetransPolicy {
+                    rto: ms(1 + rng.below(200)),
+                    max_attempts: 1 + rng.below(6) as u32,
+                });
+            }
+            s.fault.stalls = (0..rng.index(3))
+                .map(|_| StallWindow {
+                    core: rng.below(16) as u16,
+                    at: ms(rng.below(500)),
+                    dur: us(rng.below(10_000)),
+                })
+                .collect();
+        }
+        if rng.chance(0.5) {
+            s.overload.syn_cookies = rng.chance(0.5);
+            s.overload.shed_low = 0.1;
+            s.overload.shed_high = 0.5 + rng.index(5) as f64 / 10.0;
+            if rng.chance(0.3) {
+                s.overload.half_open_cap = Some(1 + rng.index(4096));
+            }
+            if rng.chance(0.5) {
+                s.overload.reap = Some(ReapPolicy {
+                    ttl: ms(1 + rng.below(100)),
+                    synack_retries: rng.below(6) as u32,
+                });
+            }
+            if rng.chance(0.5) {
+                s.overload.watchdog = Some(WatchdogPolicy {
+                    interval: ms(1 + rng.below(50)),
+                    dead_after: ms(1 + rng.below(200)),
+                });
+            }
+        }
+        s.hotplug = (0..rng.index(3))
+            .map(|_| HotplugEvent {
+                core: rng.below(8) as u16,
+                at: ms(rng.below(500)),
+                up: rng.chance(0.5),
+            })
+            .collect();
+        s.timeline_bucket = ms(rng.below(100));
+        s.gates.audit_clean = rng.chance(0.9);
+        s.gates.min_served = rng.below(1000);
+        if rng.chance(0.3) {
+            s.gates.min_completed_frac = Some(rng.index(100) as f64 / 100.0);
+        }
+        if s.kinds.len() >= 2 && rng.chance(0.5) {
+            s.gates.ordering = s.kinds[..2].to_vec();
+        }
+        s.gates.ordering_slack = (1 + rng.index(100)) as f64 / 100.0;
+        s.gates.min_cookies = rng.below(10);
+        s.gates.min_rehomes = rng.below(3);
+        if rng.chance(0.3) {
+            s.gates.max_timeouts_live_owner = Some(rng.below(5));
+        }
+        if s.search == Search::Fixed && rng.chance(0.5) {
+            s.golden = s
+                .kinds
+                .clone()
+                .into_iter()
+                .map(|k| GoldenEntry {
+                    kind: k,
+                    fingerprint: rng.next_u64(),
+                    served: rng.next_u64(),
+                })
+                .collect();
+        }
+        s.smoke = rng.chance(0.5);
+        s.validate()
+            .expect("generator must produce valid scenarios");
+        s
+    }
+
+    proptest! {
+        /// Render → parse is the identity over the whole scenario space.
+        #[test]
+        fn random_scenarios_round_trip(seed in any::<u64>()) {
+            let s = arb_scenario(seed);
+            let compact = Scenario::parse_str(&s.to_json().render()).expect("compact parses");
+            prop_assert_eq!(&compact, &s);
+            let pretty = Scenario::parse_str(&s.to_json().render_pretty()).expect("pretty parses");
+            prop_assert_eq!(&pretty, &s);
+        }
+    }
+
+    #[test]
+    fn malformed_documents_fail_with_the_offending_path() {
+        let cases: &[(&str, &str)] = &[
+            (r#"{"name":"x","bogus":1}"#, "bogus: unknown key"),
+            (
+                r#"{"name":"x","cores":"eight"}"#,
+                "cores: expected unsigned integer, got string",
+            ),
+            (
+                r#"{"name":"x","fault":{"drop_p":1.5}}"#,
+                "fault.drop_p: probability 1.5 out of range",
+            ),
+            (
+                r#"{"name":"x","kinds":["stok"]}"#,
+                "kinds[0]: unknown listen kind",
+            ),
+            (
+                r#"{"name":"x","kinds":["fine","fine"]}"#,
+                "kinds[1]: duplicate kind",
+            ),
+            (
+                r#"{"name":"x","kinds":[]}"#,
+                "kinds: must name at least one",
+            ),
+            (
+                r#"{"name":"x","workload":{"batches":[]}}"#,
+                "workload.batches: must hold",
+            ),
+            (
+                r#"{"name":"x","workload":{"batches":[1,0]}}"#,
+                "workload.batches[1]",
+            ),
+            (
+                r#"{"name":"x","cores":90}"#,
+                "cores: 90 out of range 1..=48",
+            ),
+            (
+                r#"{"name":"x","kinds":["fine"],"golden":{"twenty":{"fingerprint":"0x0","served":1}}}"#,
+                "golden.twenty: kind not in",
+            ),
+            (
+                r#"{"name":"x","search":"saturation","golden":{"stock":{"fingerprint":"0x0","served":1}}}"#,
+                "golden: saturation-search scenarios cannot pin",
+            ),
+            (
+                r#"{"name":"x","golden":{"stock":{"fingerprint":"g1","served":1}}}"#,
+                "golden.stock.fingerprint: fingerprint must be a 0x-prefixed hex string",
+            ),
+            (
+                r#"{"name":"x","golden":{"stock":{"fingerprint":"0xzz","served":1}}}"#,
+                "bad hex fingerprint",
+            ),
+            (
+                r#"{"name":"x","overload":{"shed_high":0.05}}"#,
+                "shed_low 0.1 must be below shed_high 0.05",
+            ),
+            (
+                r#"{"name":"x","fault":{"stalls":[{"core":0,"bogus":1}]}}"#,
+                "fault.stalls[0].bogus: unknown key",
+            ),
+            (
+                r#"{"name":"x","hotplug":[{"core":0,"at_ms":5}]}"#,
+                "hotplug[0]: missing required key \"up\"",
+            ),
+            (
+                r#"{"name":"x","backend":"ring"}"#,
+                "backend: unknown backend \"ring\"",
+            ),
+            (
+                r#"{"name":"x","rate_curve":[0.0]}"#,
+                "rate_curve[0]: 0 must be a positive",
+            ),
+            (r#"{"name":"BAD NAME"}"#, "must be non-empty [a-z0-9_-]+"),
+            (
+                r#"{"name":"x","gates":{"ordering":["fine"]}}"#,
+                "gates.ordering: needs at least two",
+            ),
+            (
+                r#"{"name":"x","gates":{"ordering":["fine","twenty"]}}"#,
+                "gates.ordering[1]: kind \"twenty\" not in",
+            ),
+            (
+                "{\"name\":\"x\"",
+                "", /* truncated document: any parse error, no panic */
+            ),
+        ];
+        for (text, want) in cases {
+            let err = Scenario::parse_str(text).expect_err(text);
+            assert!(
+                err.contains(want),
+                "for {text}\n  error {err:?}\n  missing {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_combine_is_identity_for_one_and_order_sensitive() {
+        assert_eq!(combine_fingerprints(&[0xdead_beef]), 0xdead_beef);
+        let ab = combine_fingerprints(&[1, 2]);
+        let ba = combine_fingerprints(&[2, 1]);
+        assert_ne!(ab, ba, "fold must be order-sensitive");
+        assert_ne!(combine_fingerprints(&[1]), combine_fingerprints(&[1, 1]));
+    }
+
+    #[test]
+    fn gate_evaluation_reports_each_violation() {
+        let mut s = Scenario::base("gates");
+        s.kinds = vec![ListenKind::Affinity, ListenKind::Stock];
+        s.gates.min_served = 100;
+        s.gates.ordering = vec![ListenKind::Affinity, ListenKind::Stock];
+        s.gates.ordering_slack = 1.0;
+        s.golden = vec![GoldenEntry {
+            kind: ListenKind::Affinity,
+            fingerprint: 0x1,
+            served: 50,
+        }];
+        let report = |kind: ListenKind, served: u64, fp: u64| KindReport {
+            kind,
+            served,
+            completed: served,
+            timeouts: 0,
+            fingerprint: fp,
+            cookies: 0,
+            rehomes: 0,
+            timeouts_live_owner: 0,
+            audit: Vec::new(),
+            runs: Vec::new(),
+        };
+        // affinity misses min_served and the golden; stock beats affinity,
+        // violating the ordering gate.
+        let problems = s.evaluate(&[
+            report(ListenKind::Affinity, 50, 0x2),
+            report(ListenKind::Stock, 120, 0x3),
+        ]);
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("affinity: served 50 below gate")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("ordering gate: affinity served 50")));
+        if cfg!(feature = "fast") {
+            assert_eq!(problems.len(), 2, "{problems:?}");
+        } else {
+            assert!(problems
+                .iter()
+                .any(|p| p.contains("golden mismatch for affinity")));
+            assert_eq!(problems.len(), 3, "{problems:?}");
+        }
+        // A clean outcome passes every gate.
+        let clean = s.evaluate(&[
+            report(ListenKind::Affinity, 150, 0x1),
+            report(ListenKind::Stock, 120, 0x3),
+        ]);
+        let expect = usize::from(!cfg!(feature = "fast")); // golden served 50 != 150
+        assert_eq!(clean.len(), expect, "{clean:?}");
+    }
+}

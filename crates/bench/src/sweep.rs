@@ -1,0 +1,286 @@
+//! The sweep engine and the CLI/artifact scaffolding every harness
+//! binary shares.
+//!
+//! Before the scenario catalog landed, each binary under `src/bin/`
+//! hand-rolled the same three things: a worker pool that runs a list of
+//! [`RunConfig`]s in parallel while preserving input order, an
+//! `std::env::args` loop for its flags, and the `create_dir_all` +
+//! `fs::write` + "report:" dance for its JSON artifact. This module is
+//! the single home for all three; `fig6` is a thin wrapper over the
+//! scenario driver and `chaos`/`recovery`/`scenario` parse their flags
+//! through [`Args`] and emit their artifacts through [`write_artifact`].
+
+use app::{ListenKind, RunConfig, RunResult, ServerKind, Workload};
+use metrics::json::Json;
+use sim::time::ms;
+use sim::topology::Machine;
+
+/// Runs `configs` through the saturation search in parallel (one OS
+/// thread per hardware thread), preserving input order in the output.
+#[must_use]
+pub fn sweep_saturation(configs: Vec<RunConfig>) -> Vec<RunResult> {
+    sweep_map(configs, default_workers(), |cfg| app::find_saturation(&cfg))
+}
+
+/// Runs `configs` directly (no rate search) in parallel.
+#[must_use]
+pub fn sweep_fixed(configs: Vec<RunConfig>) -> Vec<RunResult> {
+    sweep_fixed_workers(configs, default_workers())
+}
+
+/// [`sweep_fixed`] with an explicit worker-thread count. Results are
+/// returned in input order and must not depend on `workers` — `simcheck`
+/// audits exactly that property at worker counts 1/2/N.
+#[must_use]
+pub fn sweep_fixed_workers(configs: Vec<RunConfig>, workers: usize) -> Vec<RunResult> {
+    sweep_map(configs, workers, checked_run)
+}
+
+/// Default sweep parallelism: one worker per hardware thread.
+#[must_use]
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(4)
+}
+
+/// Whether `--check` was passed to the current binary: every figure
+/// binary then verifies the conservation audit of each run it performs,
+/// aborting with the violation list on the first bad run.
+#[must_use]
+pub fn check_mode() -> bool {
+    std::env::args().any(|a| a == "--check")
+}
+
+/// Runs one config, enforcing its conservation audit in `--check` mode.
+fn checked_run(cfg: RunConfig) -> RunResult {
+    let check = check_mode();
+    let label = check.then(|| {
+        format!(
+            "{} {} cores={} rate={} seed={}",
+            cfg.listen.label(),
+            cfg.server.label(),
+            cfg.cores,
+            cfg.conn_rate,
+            cfg.seed
+        )
+    });
+    let r = app::Runner::new(cfg).run();
+    if let Some(label) = label {
+        let violations = r.audit.violations();
+        assert!(
+            violations.is_empty(),
+            "--check: conservation audit failed for [{label}]:\n  {}",
+            violations.join("\n  ")
+        );
+    }
+    r
+}
+
+/// Runs an arbitrary job over each config on a worker pool, preserving
+/// input order in the output (the generic engine behind the sweeps;
+/// `simcheck` uses it directly for its audit pass).
+pub fn sweep_map<T, F>(configs: Vec<RunConfig>, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(RunConfig) -> T + Sync,
+{
+    let n = configs.len();
+    let workers = workers.clamp(1, n.max(1));
+    // A shared work-list plus an mpsc channel: each worker claims the
+    // next un-run config, runs it outside the lock, and sends the result
+    // back tagged with its input index.
+    let jobs: std::sync::Mutex<std::collections::VecDeque<(usize, RunConfig)>> =
+        std::sync::Mutex::new(configs.into_iter().enumerate().collect());
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let jobs = &jobs;
+            let f = &f;
+            s.spawn(move || loop {
+                let job = jobs.lock().expect("sweep queue poisoned").pop_front();
+                let Some((i, cfg)) = job else { break };
+                let r = f(cfg);
+                tx.send((i, r)).expect("receiver alive");
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("all jobs ran")).collect()
+    })
+}
+
+/// A short-window run config shared by the adversarial harnesses
+/// (`chaos`, `scenario` smoke recipes): the paper's machine/workload
+/// defaults with 150 ms warmup/measure windows and a small tracked-file
+/// set, cheap enough to fuzz by the hundreds.
+#[must_use]
+pub fn quick_config(
+    machine: Machine,
+    cores: usize,
+    listen: ListenKind,
+    server: ServerKind,
+    rate: f64,
+    seed: u64,
+) -> RunConfig {
+    let mut cfg = RunConfig::new(machine, cores, listen, server, Workload::base(), rate);
+    cfg.warmup = ms(150);
+    cfg.measure = ms(150);
+    cfg.tracked_files = 200;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Writes a JSON artifact, creating parent directories, trailing the
+/// document with a newline, and echoing the path — the uniform tail of
+/// every report-writing binary.
+pub fn write_artifact(path: &str, report: &Json) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(path, report.render() + "\n")
+        .unwrap_or_else(|e| panic!("write report {path}: {e}"));
+    println!("report: {path}");
+}
+
+/// A tiny declarative flag parser for the harness binaries: registered
+/// flags and valued options are consumed from `std::env::args`, anything
+/// unknown panics with the usage string (the behavior every binary
+/// previously hand-rolled, now in one place).
+pub struct Args {
+    tokens: Vec<String>,
+    usage: String,
+    taken: Vec<bool>,
+}
+
+impl Args {
+    /// Captures the process arguments (after the binary name).
+    #[must_use]
+    pub fn parse(usage: &str) -> Self {
+        let tokens: Vec<String> = std::env::args().skip(1).collect();
+        let taken = vec![false; tokens.len()];
+        Self {
+            tokens,
+            usage: usage.to_string(),
+            taken,
+        }
+    }
+
+    /// A test/driver entry point over an explicit token list.
+    #[must_use]
+    pub fn from_tokens(tokens: Vec<String>, usage: &str) -> Self {
+        let taken = vec![false; tokens.len()];
+        Self {
+            tokens,
+            usage: usage.to_string(),
+            taken,
+        }
+    }
+
+    /// Consumes a boolean flag; `true` if present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        let mut found = false;
+        for (i, t) in self.tokens.iter().enumerate() {
+            if !self.taken[i] && t == name {
+                self.taken[i] = true;
+                found = true;
+            }
+        }
+        found
+    }
+
+    /// Consumes a `--name value` option; panics if the value is missing.
+    pub fn value(&mut self, name: &str) -> Option<String> {
+        for i in 0..self.tokens.len() {
+            if !self.taken[i] && self.tokens[i] == name {
+                self.taken[i] = true;
+                let v = self
+                    .tokens
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("{name} requires a value (usage: {})", self.usage));
+                self.taken[i + 1] = true;
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    /// Consumes a repeatable `--name value` option, in argument order.
+    pub fn values(&mut self, name: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(v) = self.value(name) {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Like [`Args::value`] but parsed; panics with the usage string on a
+    /// malformed value.
+    pub fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Option<T> {
+        self.value(name).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                panic!("{name} got malformed value {v:?} (usage: {})", self.usage)
+            })
+        })
+    }
+
+    /// Panics on any argument no `flag`/`value` call consumed. The
+    /// shared `--check` flag (honored inside the sweep engine) is always
+    /// accepted.
+    pub fn finish(mut self) {
+        let _ = self.flag("--check");
+        for (i, t) in self.tokens.iter().enumerate() {
+            assert!(
+                self.taken[i],
+                "unknown argument {t} (usage: {})",
+                self.usage
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_consume_flags_values_and_reject_strays() {
+        let mut a = Args::from_tokens(
+            ["--smoke", "--out", "x.json", "--cases", "7"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            "test",
+        );
+        assert!(a.flag("--smoke"));
+        assert!(!a.flag("--smoke"), "flags are consumed");
+        assert_eq!(a.value("--out").as_deref(), Some("x.json"));
+        assert_eq!(a.parsed::<usize>("--cases"), Some(7));
+        assert_eq!(a.value("--missing"), None);
+        a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn args_panic_on_unknown() {
+        let a = Args::from_tokens(vec!["--bogus".to_string()], "test");
+        a.finish();
+    }
+
+    #[test]
+    fn repeatable_values_keep_order() {
+        let mut a = Args::from_tokens(
+            ["--file", "a", "--file", "b"]
+                .iter()
+                .map(|s| (*s).to_string())
+                .collect(),
+            "test",
+        );
+        assert_eq!(a.values("--file"), vec!["a".to_string(), "b".to_string()]);
+        a.finish();
+    }
+}

@@ -128,6 +128,49 @@ fn recovery_artifact_schema_round_trips() {
 }
 
 #[test]
+fn scenario_artifact_schema_round_trips() {
+    let out = tmp("scenarios.json");
+    let doc = run_binary(
+        env!("CARGO_BIN_EXE_scenario"),
+        &["--file", "scenarios/sharded_backend.json"],
+        &out,
+    );
+    assert!(matches!(obj(&doc, "schema"), Json::Str(_)));
+    assert_bool(&doc, "smoke");
+    assert_bool(&doc, "ok");
+    let scenarios = arr(&doc, "scenarios");
+    assert_eq!(scenarios.len(), 1, "one --file produces one report");
+    for report in scenarios {
+        assert!(matches!(obj(report, "scenario"), Json::Str(_)));
+        assert_bool(report, "ok");
+        assert!(matches!(obj(report, "problems"), Json::Arr(_)));
+        let kinds = arr(report, "kinds");
+        assert!(!kinds.is_empty(), "scenario reports at least one kind");
+        for row in kinds {
+            assert!(matches!(obj(row, "kind"), Json::Str(_)));
+            assert_u64(row, "served");
+            assert_u64(row, "completed");
+            assert_u64(row, "timeouts");
+            assert!(matches!(obj(row, "fingerprint"), Json::Str(_)));
+            assert_u64(row, "cookies");
+            assert_u64(row, "rehomes");
+            assert_u64(row, "timeouts_live_owner");
+            assert!(matches!(obj(row, "audit_violations"), Json::Arr(_)));
+            let runs = arr(row, "runs");
+            assert!(!runs.is_empty(), "kind reports at least one run");
+            for run in runs {
+                assert_u64(run, "cores");
+                assert_num(run, "rate");
+                assert_u64(run, "served");
+                assert_num(run, "rps_per_core");
+                assert!(matches!(obj(run, "fingerprint"), Json::Str(_)));
+                assert_u64(run, "events");
+            }
+        }
+    }
+}
+
+#[test]
 fn wallclock_artifact_schema_round_trips() {
     let out = tmp("bench_sim.json");
     let doc = run_binary(

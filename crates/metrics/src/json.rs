@@ -89,6 +89,67 @@ impl Json {
         out
     }
 
+    /// Renders the value indented with two spaces per level, one field or
+    /// element per line — the format the committed `scenarios/` corpus
+    /// uses so diffs stay reviewable. Parses back to the same value as
+    /// [`Json::render`] (the parser skips insignificant whitespace).
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let indent = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                // Short scalar-only arrays stay on one line.
+                let scalars = items
+                    .iter()
+                    .all(|i| !matches!(i, Json::Arr(_) | Json::Obj(_)));
+                if scalars && items.len() <= 8 {
+                    self.write(out);
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -445,6 +506,26 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn pretty_render_parses_back_to_the_same_value() {
+        let doc = Json::obj()
+            .field("name", "scenario")
+            .field("kinds", vec!["stock", "fine"])
+            .field("rates", Json::Arr((0..12u64).map(Json::U64).collect()))
+            .field(
+                "nested",
+                Json::obj().field("x", 1u64).field("y", Json::Arr(vec![])),
+            )
+            .field("empty", Json::obj());
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains('\n'), "pretty output is multi-line");
+        let back = Json::parse(&pretty).expect("pretty output parses");
+        assert_eq!(back, doc);
+        // Short scalar arrays stay inline; long ones break across lines.
+        assert!(pretty.contains("[\"stock\",\"fine\"]"));
+        assert!(pretty.contains("  0,\n"));
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! End-to-end coverage of the committed scenario catalog: every
+//! `scenarios/*.json` file loads, runs, and passes its gates and golden
+//! fingerprints; the fig6 scenario derives bit-identical configs to the
+//! figure binary's hand-built ones; and the event-queue backends remain
+//! fingerprint-transparent when selected through a scenario.
+
+// Golden fingerprints only exist in instrumented builds; the `fast`
+// feature compiles the fingerprint plane to zero.
+#![cfg(not(feature = "fast"))]
+
+use app::{ListenKind, ServerKind};
+use bench::scenario::{catalog_path, load_dir, load_file, BackendSpec, Scenario, Search};
+use sim::topology::Machine;
+
+fn corpus() -> Vec<(std::path::PathBuf, Scenario)> {
+    load_dir(&catalog_path("scenarios")).expect("scenarios/ loads cleanly")
+}
+
+/// Structural requirements on the committed corpus: breadth across
+/// listen kinds and planes, goldens on every fixed-rate entry, and a
+/// non-empty smoke subset for CI's push job.
+#[test]
+fn corpus_is_broad_and_fully_pinned() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 13, "corpus shrank to {}", corpus.len());
+
+    let mut kinds_covered = Vec::new();
+    let mut any_fault = false;
+    let mut any_overload_or_hotplug = false;
+    let mut smoke = 0;
+    for (path, s) in &corpus {
+        for k in &s.kinds {
+            if !kinds_covered.contains(k) {
+                kinds_covered.push(*k);
+            }
+        }
+        any_fault |= s.fault.is_active();
+        any_overload_or_hotplug |= s.overload.is_active() || !s.hotplug.is_empty();
+        smoke += usize::from(s.smoke);
+        if s.search == Search::Fixed {
+            assert!(
+                !s.golden.is_empty(),
+                "{}: fixed-rate scenarios must carry goldens (run `scenario --record`)",
+                path.display()
+            );
+        }
+    }
+    assert_eq!(
+        kinds_covered.len(),
+        ListenKind::ALL.len(),
+        "corpus must exercise all five listen kinds, got {kinds_covered:?}"
+    );
+    assert!(any_fault, "corpus must include a fault-plane scenario");
+    assert!(
+        any_overload_or_hotplug,
+        "corpus must include an overload/hotplug scenario"
+    );
+    assert!(smoke >= 3, "smoke subset shrank to {smoke}");
+    for name in [
+        "rpc_short",
+        "keepalive_sessions",
+        "syn_flood_hotplug",
+        "diurnal",
+    ] {
+        assert!(
+            corpus.iter().any(|(_, s)| s.name == name),
+            "beyond-paper scenario {name} missing from corpus"
+        );
+    }
+}
+
+/// The fig6 binary is a thin wrapper over `scenarios/fig6.json`: every
+/// config the scenario derives must equal the `bench::base_config` one
+/// the binary used to build by hand. With determinism pinned by the
+/// golden tests, equal configs mean bit-identical figure output.
+#[test]
+fn fig6_scenario_equals_the_hand_built_figure_configs() {
+    let sc = load_file(&catalog_path("scenarios/fig6.json")).expect("fig6 loads");
+    assert_eq!(sc.kinds, bench::IMPLS.to_vec());
+    assert_eq!(sc.cores_list(), bench::intel_core_counts());
+    assert_eq!(sc.search, Search::Saturation);
+    for &kind in &sc.kinds {
+        for &cores in &sc.cores_list() {
+            let got = sc.config(kind, cores, 1.0);
+            let want = bench::base_config(Machine::intel80(), cores, kind, ServerKind::lighttpd());
+            assert_eq!(got, want, "fig6 {kind:?} at {cores} cores diverged");
+        }
+    }
+}
+
+/// The smoke subset — what CI runs on every push — passes every gate
+/// and golden.
+#[test]
+fn smoke_scenarios_pass_gates_and_goldens() {
+    for (path, s) in corpus() {
+        if !s.smoke || s.search == Search::Saturation {
+            continue;
+        }
+        let report = s.run(1);
+        assert!(report.ok(), "{}: {:#?}", path.display(), report.problems);
+    }
+}
+
+/// The rest of the fixed-rate corpus (nightly's territory) passes every
+/// gate and golden too. Saturation sweeps (fig6) are exercised by the
+/// nightly binary run, not here — a full 80-core saturation search has
+/// no place in the tier-1 budget.
+#[test]
+fn full_corpus_passes_gates_and_goldens() {
+    for (path, s) in corpus() {
+        if s.smoke || s.search == Search::Saturation {
+            continue;
+        }
+        let report = s.run(1);
+        assert!(report.ok(), "{}: {:#?}", path.display(), report.problems);
+    }
+}
+
+/// paper_base is the determinism suite's quick configuration; its
+/// recorded goldens must equal `tests/determinism.rs`'s GOLDEN table
+/// (same machine, cores, rate, windows, seed). If a simulation change
+/// moves one table, it must move both.
+#[test]
+fn paper_base_goldens_equal_the_determinism_table() {
+    let golden: &[(ListenKind, u64, u64)] = &[
+        (ListenKind::Stock, 0x6b30_b1fe_5417_a104, 7262),
+        (ListenKind::Fine, 0xcac2_e2fd_9038_2a59, 7262),
+        (ListenKind::Affinity, 0x5fc6_bb89_978e_e39c, 7266),
+        (ListenKind::Twenty, 0x3832_bc3d_ab6a_43a7, 7271),
+        (ListenKind::BusyPoll, 0x41dd_b9fb_3487_a26e, 7271),
+    ];
+    let s = load_file(&catalog_path("scenarios/paper_base.json")).expect("paper_base loads");
+    for &(kind, fp, served) in golden {
+        let entry = s
+            .golden
+            .iter()
+            .find(|g| g.kind == kind)
+            .unwrap_or_else(|| panic!("paper_base missing golden for {kind:?}"));
+        assert_eq!(
+            (entry.fingerprint, entry.served),
+            (fp, served),
+            "{kind:?}: paper_base golden diverged from the determinism table"
+        );
+    }
+    // And the sharded-backend scenario must pin the exact same affinity
+    // run: backends are fingerprint-transparent.
+    let sh = load_file(&catalog_path("scenarios/sharded_backend.json")).expect("loads");
+    assert_eq!(
+        (sh.golden[0].fingerprint, sh.golden[0].served),
+        (0x5fc6_bb89_978e_e39c, 7266),
+        "sharded_backend must pin the same run as paper_base's affinity entry"
+    );
+}
+
+/// The heap, wheel, and sharded event-queue backends must produce
+/// bit-identical scenario outcomes — the catalog-level form of the
+/// differential suite's backend transparency law.
+#[test]
+fn backends_are_fingerprint_transparent_through_a_scenario() {
+    let mut base = load_file(&catalog_path("scenarios/paper_base.json")).expect("loads");
+    base.kinds = vec![ListenKind::Affinity];
+    base.golden.clear();
+    let reports: Vec<_> = [
+        BackendSpec::Wheel,
+        BackendSpec::Heap,
+        BackendSpec::Sharded { threads: 2 },
+    ]
+    .into_iter()
+    .map(|backend| {
+        let mut s = base.clone();
+        s.backend = backend;
+        (backend, s.run(1))
+    })
+    .collect();
+    let (_, wheel) = &reports[0];
+    for (backend, r) in &reports {
+        assert!(r.ok(), "{backend:?}: {:#?}", r.problems);
+        assert_eq!(
+            r.kinds[0].fingerprint, wheel.kinds[0].fingerprint,
+            "{backend:?} diverged from the wheel backend"
+        );
+        assert_eq!(r.kinds[0].served, wheel.kinds[0].served);
+    }
+}
