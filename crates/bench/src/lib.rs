@@ -21,8 +21,8 @@ pub mod scenario;
 pub mod sweep;
 
 pub use sweep::{
-    check_mode, default_workers, quick_config, sweep_fixed, sweep_fixed_workers, sweep_map,
-    sweep_saturation, write_artifact, Args,
+    check_mode, default_workers, par_map, quick_config, sweep_fixed, sweep_fixed_workers,
+    sweep_map, sweep_saturation, write_artifact, Args,
 };
 
 /// The three listen-socket implementations every figure compares.

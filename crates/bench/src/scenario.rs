@@ -17,9 +17,13 @@
 //! exactly the run the golden determinism tests pin: the catalog adds no
 //! second source of truth, it points at the existing one.
 
-use app::{ListenKind, RunConfig, RunResult, ServerKind, Workload};
+use app::{
+    ClusterConfig, ClusterResult, ClusterRunner, LbPolicy, ListenKind, RunConfig, RunResult,
+    ServerKind, Workload,
+};
 use metrics::json::Json;
 use sim::events::Backend;
+use sim::fabric::{HostEvent, HostEventKind};
 use sim::fault::{FaultPlan, RetransPolicy, StallWindow};
 use sim::overload::{HotplugEvent, OverloadConfig, ReapPolicy, WatchdogPolicy};
 use sim::time::{ms, us, Cycles, CYCLES_PER_MS, CYCLES_PER_US};
@@ -229,6 +233,13 @@ pub struct Scenario {
     pub overload: OverloadConfig,
     /// Explicit core-hotplug schedule.
     pub hotplug: Vec<HotplugEvent>,
+    /// Simulated server hosts behind the LB tier; `0` (the default)
+    /// disables the cluster plane and runs the single-host path.
+    pub hosts: usize,
+    /// LB routing policy (cluster scenarios only).
+    pub lb: LbPolicy,
+    /// Whole-host fault schedule (cluster scenarios only).
+    pub host_faults: Vec<HostEvent>,
     /// Timeline bucket width (0 disables collection).
     pub timeline_bucket: Cycles,
     /// Outcome gates.
@@ -266,6 +277,9 @@ impl Scenario {
             fault: FaultPlan::none(),
             overload: OverloadConfig::none(),
             hotplug: Vec::new(),
+            hosts: 0,
+            lb: LbPolicy::ConsistentHash,
+            host_faults: Vec::new(),
             timeline_bucket: 0,
             gates: Gates::default(),
             golden: Vec::new(),
@@ -327,6 +341,19 @@ impl Scenario {
         cfg.hotplug = self.hotplug.clone();
         cfg.timeline_bucket = self.timeline_bucket;
         cfg
+    }
+
+    /// Builds the [`ClusterConfig`] for one `(kind, cores, rate
+    /// multiplier)` point of a cluster scenario (`hosts >= 1`). The
+    /// per-host template is exactly [`Scenario::config`]; the fabric,
+    /// health-check, retry, and drain knobs stay at the
+    /// [`ClusterConfig::new`] defaults.
+    #[must_use]
+    pub fn cluster_config(&self, kind: ListenKind, cores: usize, mult: f64) -> ClusterConfig {
+        let mut c = ClusterConfig::new(self.hosts, self.config(kind, cores, mult));
+        c.lb = self.lb;
+        c.host_events = self.host_faults.clone();
+        c
     }
 }
 
@@ -644,6 +671,50 @@ fn parse_hotplug(v: &Json, path: &str) -> Result<Vec<HotplugEvent>, String> {
         .collect()
 }
 
+fn parse_host_event_kind(s: &str, path: &str) -> Result<HostEventKind, String> {
+    match s {
+        "crash" => Ok(HostEventKind::Crash),
+        "restart" => Ok(HostEventKind::Restart),
+        "drain" => Ok(HostEventKind::DrainStart),
+        "drain_done" => Ok(HostEventKind::DrainDone),
+        other => Err(format!(
+            "{path}: unknown host event kind {other:?} (crash, restart, drain, or drain_done)"
+        )),
+    }
+}
+
+fn parse_host_faults(v: &Json, path: &str) -> Result<Vec<HostEvent>, String> {
+    want_arr(v, path)?
+        .iter()
+        .enumerate()
+        .map(|(i, hv)| {
+            let hp = format!("{path}[{i}]");
+            let mut h = HostEvent {
+                host: 0,
+                at: 0,
+                kind: HostEventKind::Crash,
+            };
+            let mut saw_kind = false;
+            for (hk, hvv) in want_obj(hv, &hp)? {
+                let hpp = sub(&hp, hk);
+                match hk.as_str() {
+                    "host" => h.host = want_u16(hvv, &hpp)?,
+                    "at_ms" => h.at = want_ms(hvv, &hpp)?,
+                    "kind" => {
+                        h.kind = parse_host_event_kind(want_str(hvv, &hpp)?, &hpp)?;
+                        saw_kind = true;
+                    }
+                    _ => return Err(format!("{hpp}: unknown key")),
+                }
+            }
+            if !saw_kind {
+                return Err(format!("{hp}: missing required key \"kind\""));
+            }
+            Ok(h)
+        })
+        .collect()
+}
+
 fn parse_backend(v: &Json, path: &str) -> Result<BackendSpec, String> {
     match v {
         Json::Str(s) => match s.as_str() {
@@ -812,6 +883,14 @@ impl Scenario {
                 "fault" => s.fault = parse_fault(v, &p)?,
                 "overload" => s.overload = parse_overload(v, &p)?,
                 "hotplug" => s.hotplug = parse_hotplug(v, &p)?,
+                "hosts" => s.hosts = want_usize(v, &p)?,
+                "lb" => {
+                    let label = want_str(v, &p)?;
+                    s.lb = LbPolicy::from_label(label).ok_or_else(|| {
+                        format!("{p}: unknown LB policy {label:?} (hash, least_conn, or affinity)")
+                    })?;
+                }
+                "host_faults" => s.host_faults = parse_host_faults(v, &p)?,
                 "timeline_bucket_ms" => s.timeline_bucket = want_ms(v, &p)?,
                 "gates" => s.gates = parse_gates(v, &p)?,
                 "golden" => s.golden = parse_golden(v, &p)?,
@@ -918,6 +997,50 @@ impl Scenario {
                 "overload: shed_low {} must be below shed_high {}",
                 self.overload.shed_low, self.overload.shed_high
             ));
+        }
+        if self.hosts > 64 {
+            return Err(format!(
+                "hosts: {} out of range 0..=64 (0 disables the cluster plane)",
+                self.hosts
+            ));
+        }
+        if self.hosts == 0 {
+            if !self.host_faults.is_empty() {
+                return Err("host_faults: requires hosts >= 1".to_string());
+            }
+            if self.lb != LbPolicy::ConsistentHash {
+                return Err(format!("lb: {:?} requires hosts >= 1", self.lb.label()));
+            }
+        } else {
+            if self.search == Search::Saturation {
+                return Err(
+                    "search: the saturation search is single-host; cluster scenarios \
+                     (hosts >= 1) must use \"fixed\""
+                        .to_string(),
+                );
+            }
+            if self.gates.min_cookies > 0 || self.gates.min_rehomes > 0 {
+                return Err(
+                    "gates: min_cookies/min_rehomes are per-host overload counters the \
+                     cluster report does not aggregate; drop them from cluster scenarios"
+                        .to_string(),
+                );
+            }
+            for (i, ev) in self.host_faults.iter().enumerate() {
+                if usize::from(ev.host) >= self.hosts {
+                    return Err(format!(
+                        "host_faults[{i}].host: {} out of range 0..={}",
+                        ev.host,
+                        self.hosts - 1
+                    ));
+                }
+                if ev.at % CYCLES_PER_MS != 0 {
+                    return Err(format!(
+                        "host_faults[{i}].at_ms: {} cycles is not unit-granular",
+                        ev.at
+                    ));
+                }
+            }
         }
         if !self.gates.ordering.is_empty() {
             if self.gates.ordering.len() < 2 {
@@ -1065,6 +1188,25 @@ impl Scenario {
                         .collect(),
                 ),
             );
+        }
+        if self.hosts > 0 {
+            doc = doc.field("hosts", self.hosts).field("lb", self.lb.label());
+            if !self.host_faults.is_empty() {
+                doc = doc.field(
+                    "host_faults",
+                    Json::Arr(
+                        self.host_faults
+                            .iter()
+                            .map(|h| {
+                                Json::obj()
+                                    .field("host", u64::from(h.host))
+                                    .field("at_ms", h.at / CYCLES_PER_MS)
+                                    .field("kind", h.kind.label())
+                            })
+                            .collect(),
+                    ),
+                );
+            }
         }
         doc = doc
             .field("timeline_bucket_ms", self.timeline_bucket / CYCLES_PER_MS)
@@ -1260,6 +1402,45 @@ impl KindReport {
         }
     }
 
+    /// Aggregates a cluster scenario's runs. Cookies and re-homes are
+    /// per-host overload counters the cluster result does not carry, so
+    /// they report zero (validation rejects gates on them).
+    fn from_cluster(kind: ListenKind, rs: &[(usize, f64, ClusterResult)], hosts: usize) -> Self {
+        let fps: Vec<u64> = rs.iter().map(|(_, _, r)| r.fingerprint).collect();
+        Self {
+            kind,
+            served: rs.iter().map(|(_, _, r)| r.served).sum(),
+            completed: rs.iter().map(|(_, _, r)| r.completed).sum(),
+            timeouts: rs.iter().map(|(_, _, r)| r.timeouts).sum(),
+            fingerprint: combine_fingerprints(&fps),
+            cookies: 0,
+            rehomes: 0,
+            timeouts_live_owner: rs.iter().map(|(_, _, r)| r.timeouts_live_owner).sum(),
+            audit: rs
+                .iter()
+                .enumerate()
+                .flat_map(|(i, (_, _, r))| {
+                    r.audit
+                        .violations()
+                        .into_iter()
+                        .map(move |v| format!("{} cluster run[{i}]: {v}", kind.label()))
+                })
+                .collect(),
+            runs: rs
+                .iter()
+                .map(|&(cores, rate, ref r)| RunSummary {
+                    cores,
+                    rate,
+                    served: r.served,
+                    #[allow(clippy::cast_precision_loss)]
+                    rps_per_core: r.goodput / (hosts * cores) as f64,
+                    fingerprint: r.fingerprint,
+                    events: r.events_executed,
+                })
+                .collect(),
+        }
+    }
+
     fn to_json(&self) -> Json {
         Json::obj()
             .field("kind", self.kind.label())
@@ -1341,6 +1522,9 @@ impl Scenario {
     /// gates and goldens.
     #[must_use]
     pub fn run(&self, workers: usize) -> ScenarioReport {
+        if self.hosts > 0 {
+            return self.run_cluster(workers);
+        }
         let cores_list = self.cores_list();
         let runs_per_kind = self.runs_per_kind();
         let mut cfgs = Vec::with_capacity(self.kinds.len() * runs_per_kind);
@@ -1369,6 +1553,50 @@ impl Scenario {
                 KindReport::from_results(
                     kind,
                     &tagged[ki * runs_per_kind..(ki + 1) * runs_per_kind],
+                )
+            })
+            .collect();
+        let problems = self.evaluate(&kinds);
+        ScenarioReport {
+            name: self.name.clone(),
+            problems,
+            kinds,
+        }
+    }
+
+    /// The cluster-plane run path (`hosts >= 1`): every `(kind, cores,
+    /// rate multiplier)` point becomes one whole-cluster run through the
+    /// LB tier and fault schedule.
+    fn run_cluster(&self, workers: usize) -> ScenarioReport {
+        let cores_list = self.cores_list();
+        let runs_per_kind = self.runs_per_kind();
+        let mut cfgs = Vec::with_capacity(self.kinds.len() * runs_per_kind);
+        for &kind in &self.kinds {
+            for &cores in &cores_list {
+                for &mult in &self.rate_curve {
+                    cfgs.push(self.cluster_config(kind, cores, mult));
+                }
+            }
+        }
+        let shapes: Vec<(usize, f64)> = cfgs
+            .iter()
+            .map(|c| (c.base.cores, c.base.conn_rate))
+            .collect();
+        let results = crate::par_map(cfgs, workers, |cfg| ClusterRunner::new(cfg).run());
+        let tagged: Vec<(usize, f64, ClusterResult)> = shapes
+            .into_iter()
+            .zip(results)
+            .map(|((cores, rate), r)| (cores, rate, r))
+            .collect();
+        let kinds: Vec<KindReport> = self
+            .kinds
+            .iter()
+            .enumerate()
+            .map(|(ki, &kind)| {
+                KindReport::from_cluster(
+                    kind,
+                    &tagged[ki * runs_per_kind..(ki + 1) * runs_per_kind],
+                    self.hosts,
                 )
             })
             .collect();
@@ -1814,6 +2042,29 @@ mod tests {
             })
             .collect();
         s.timeline_bucket = ms(rng.below(100));
+        if rng.chance(0.3) {
+            s.hosts = 1 + rng.index(4);
+            s.lb = match rng.index(3) {
+                0 => LbPolicy::ConsistentHash,
+                1 => LbPolicy::LeastConn,
+                _ => LbPolicy::AffinityAware,
+            };
+            s.host_faults = (0..rng.index(4))
+                .map(|_| HostEvent {
+                    host: rng.below(s.hosts as u64) as u16,
+                    at: ms(rng.below(500)),
+                    kind: match rng.index(4) {
+                        0 => HostEventKind::Crash,
+                        1 => HostEventKind::Restart,
+                        2 => HostEventKind::DrainStart,
+                        _ => HostEventKind::DrainDone,
+                    },
+                })
+                .collect();
+            // Cluster scenarios run fixed-rate and report no per-host
+            // overload counters.
+            s.search = Search::Fixed;
+        }
         s.gates.audit_clean = rng.chance(0.9);
         s.gates.min_served = rng.below(1000);
         if rng.chance(0.3) {
@@ -1825,6 +2076,10 @@ mod tests {
         s.gates.ordering_slack = (1 + rng.index(100)) as f64 / 100.0;
         s.gates.min_cookies = rng.below(10);
         s.gates.min_rehomes = rng.below(3);
+        if s.hosts > 0 {
+            s.gates.min_cookies = 0;
+            s.gates.min_rehomes = 0;
+        }
         if rng.chance(0.3) {
             s.gates.max_timeouts_live_owner = Some(rng.below(5));
         }
@@ -1940,6 +2195,46 @@ mod tests {
                 "gates.ordering[1]: kind \"twenty\" not in",
             ),
             (
+                r#"{"name":"x","hosts":70}"#,
+                "hosts: 70 out of range 0..=64",
+            ),
+            (
+                r#"{"name":"x","lb":"roundrobin"}"#,
+                "lb: unknown LB policy \"roundrobin\"",
+            ),
+            (
+                r#"{"name":"x","lb":"least_conn"}"#,
+                "lb: \"least_conn\" requires hosts >= 1",
+            ),
+            (
+                r#"{"name":"x","host_faults":[{"host":0,"at_ms":5,"kind":"crash"}]}"#,
+                "host_faults: requires hosts >= 1",
+            ),
+            (
+                r#"{"name":"x","hosts":2,"host_faults":[{"host":0,"at_ms":5,"kind":"melt"}]}"#,
+                "host_faults[0].kind: unknown host event kind \"melt\"",
+            ),
+            (
+                r#"{"name":"x","hosts":2,"host_faults":[{"host":0,"at_ms":5}]}"#,
+                "host_faults[0]: missing required key \"kind\"",
+            ),
+            (
+                r#"{"name":"x","hosts":2,"host_faults":[{"host":5,"at_ms":5,"kind":"crash"}]}"#,
+                "host_faults[0].host: 5 out of range 0..=1",
+            ),
+            (
+                r#"{"name":"x","hosts":2,"host_faults":[{"host":0,"at_ms":5,"bogus":1,"kind":"crash"}]}"#,
+                "host_faults[0].bogus: unknown key",
+            ),
+            (
+                r#"{"name":"x","hosts":2,"search":"saturation"}"#,
+                "search: the saturation search is single-host",
+            ),
+            (
+                r#"{"name":"x","hosts":2,"gates":{"min_cookies":1}}"#,
+                "gates: min_cookies/min_rehomes are per-host overload counters",
+            ),
+            (
                 "{\"name\":\"x\"",
                 "", /* truncated document: any parse error, no panic */
             ),
@@ -1951,6 +2246,49 @@ mod tests {
                 "for {text}\n  error {err:?}\n  missing {want:?}"
             );
         }
+    }
+
+    #[test]
+    fn cluster_scenario_round_trips_and_runs_deterministically() {
+        let mut s = Scenario::base("cluster_mini");
+        s.kinds = vec![ListenKind::Affinity];
+        s.cores = 1;
+        s.hosts = 2;
+        s.lb = LbPolicy::AffinityAware;
+        s.host_faults = vec![
+            HostEvent {
+                host: 1,
+                at: ms(40),
+                kind: HostEventKind::Crash,
+            },
+            HostEvent {
+                host: 1,
+                at: ms(70),
+                kind: HostEventKind::Restart,
+            },
+        ];
+        s.rate_per_core = Some(600.0);
+        s.warmup = ms(20);
+        s.measure = ms(60);
+        s.tracked_files = 200;
+        s.workload.batches = vec![1, 1];
+        s.workload.think = ms(1);
+        s.validate().expect("cluster scenario is valid");
+        let back = Scenario::parse_str(&s.to_json().render()).expect("round trip");
+        assert_eq!(back, s);
+        // The derived cluster config carries the scenario's knobs.
+        let cc = s.cluster_config(ListenKind::Affinity, 1, 1.0);
+        cc.validate().expect("derived cluster config is valid");
+        assert_eq!(cc.hosts, 2);
+        assert_eq!(cc.lb, LbPolicy::AffinityAware);
+        assert_eq!(cc.host_events, s.host_faults);
+        // Two runs agree bit-for-bit and the gates hold.
+        let a = s.run(1);
+        let b = s.run(2);
+        assert!(a.ok(), "{:?}", a.problems);
+        assert_eq!(a.kinds[0].fingerprint, b.kinds[0].fingerprint);
+        assert_eq!(a.kinds[0].served, b.kinds[0].served);
+        assert!(a.kinds[0].served > 0);
     }
 
     #[test]

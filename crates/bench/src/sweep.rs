@@ -85,13 +85,24 @@ where
     T: Send,
     F: Fn(RunConfig) -> T + Sync,
 {
-    let n = configs.len();
+    par_map(configs, workers, f)
+}
+
+/// [`sweep_map`] over any `Send` item type — the `cluster` harness maps
+/// whole cluster configs, not single-host ones, through the same pool.
+pub fn par_map<C, T, F>(items: Vec<C>, workers: usize, f: F) -> Vec<T>
+where
+    C: Send,
+    T: Send,
+    F: Fn(C) -> T + Sync,
+{
+    let n = items.len();
     let workers = workers.clamp(1, n.max(1));
     // A shared work-list plus an mpsc channel: each worker claims the
     // next un-run config, runs it outside the lock, and sends the result
     // back tagged with its input index.
-    let jobs: std::sync::Mutex<std::collections::VecDeque<(usize, RunConfig)>> =
-        std::sync::Mutex::new(configs.into_iter().enumerate().collect());
+    let jobs: std::sync::Mutex<std::collections::VecDeque<(usize, C)>> =
+        std::sync::Mutex::new(items.into_iter().enumerate().collect());
     let (tx, rx) = std::sync::mpsc::channel();
     std::thread::scope(|s| {
         for _ in 0..workers {

@@ -80,8 +80,83 @@ fn chaos_artifact_schema_round_trips() {
     let fuzz = obj(&doc, "fuzz");
     assert_u64(fuzz, "cases");
     assert_bool(fuzz, "ok");
+    let cluster = obj(&doc, "cluster");
+    assert_u64(cluster, "cases");
+    assert_bool(cluster, "ok");
+    assert!(matches!(obj(cluster, "failures"), Json::Arr(_)));
     let ordering = obj(&doc, "ordering");
     assert_bool(ordering, "ok");
+}
+
+#[test]
+fn cluster_artifact_schema_round_trips() {
+    let out = tmp("cluster.json");
+    let doc = run_binary(env!("CARGO_BIN_EXE_cluster"), &["--smoke"], &out);
+    assert!(matches!(obj(&doc, "schema"), Json::Str(_)));
+    assert_bool(&doc, "smoke");
+    assert_bool(&doc, "ok");
+
+    let kill = obj(&doc, "kill");
+    assert_u64(kill, "hosts");
+    assert_u64(kill, "kill_host");
+    assert_u64(kill, "kill_at_ms");
+    assert_u64(kill, "bucket_ms");
+    assert_u64(kill, "detection_bound_ms");
+    assert_bool(kill, "ok");
+    let policies = arr(kill, "policies");
+    assert!(!policies.is_empty(), "kill pass reports every LB policy");
+    for row in policies {
+        assert!(matches!(obj(row, "policy"), Json::Str(_)));
+        assert_u64(row, "baseline_served");
+        assert_u64(row, "kill_served");
+        assert_num(row, "goodput_retained");
+        assert_bool(row, "recovered_in_time");
+        assert_u64(row, "stranded");
+        assert_u64(row, "recovered");
+        assert_u64(row, "misroutes");
+        assert_u64(row, "retries_scheduled");
+        assert_num(row, "retry_amplification");
+        assert_bool(row, "replay_identical");
+        assert_bool(row, "backend_identical");
+        assert!(matches!(obj(row, "timeline"), Json::Arr(_)));
+        assert!(matches!(obj(row, "problems"), Json::Arr(_)));
+        assert_bool(row, "ok");
+    }
+
+    let rolling = obj(&doc, "rolling");
+    assert_u64(rolling, "hosts");
+    assert_u64(rolling, "stagger_ms");
+    assert_u64(rolling, "drain_timeout_ms");
+    assert_bool(rolling, "ok");
+    let policies = arr(rolling, "policies");
+    assert!(!policies.is_empty(), "rolling pass reports every LB policy");
+    for row in policies {
+        assert!(matches!(obj(row, "policy"), Json::Str(_)));
+        assert_u64(row, "served");
+        assert_u64(row, "restarts");
+        assert_u64(row, "drains");
+        assert_u64(row, "drain_done");
+        assert_u64(row, "drain_forced");
+        assert_u64(row, "stranded");
+        assert_u64(row, "timeouts_dead_owner");
+        assert_num(row, "retry_amplification");
+        assert_bool(row, "ok");
+    }
+
+    let flash = obj(&doc, "flash");
+    assert_u64(flash, "hosts");
+    assert_num(flash, "multiplier");
+    assert_num(flash, "affinity_vs_stock");
+    assert_bool(flash, "ok");
+    let kinds = arr(flash, "kinds");
+    assert!(!kinds.is_empty(), "flash pass compares listen kinds");
+    for row in kinds {
+        assert!(matches!(obj(row, "kind"), Json::Str(_)));
+        assert_u64(row, "served");
+        assert_u64(row, "timeouts");
+        assert_u64(row, "stranded");
+        assert_num(row, "retry_amplification");
+    }
 }
 
 #[test]

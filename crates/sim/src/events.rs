@@ -226,6 +226,33 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Time of the earliest pending event strictly before `bound`, if
+    /// any (`Cycles::MAX` means "no bound", as in
+    /// [`crate::wheel::TimerWheel::peek_time_before`]).
+    ///
+    /// Unlike [`EventQueue::peek_time`], the wheel backend never
+    /// advances its cursor to or past `bound` while searching, so after
+    /// a `None` return pushes at any time `>= bound` remain valid. An
+    /// incrementally driven loop (the cluster plane's `run_until`
+    /// epochs) must use this: an unbounded peek would park the wheel
+    /// cursor on a far-future event and silently clamp every later
+    /// push scheduled before it.
+    pub fn peek_time_before(&mut self, bound: Cycles) -> Option<Cycles> {
+        match &mut self.inner {
+            Inner::Wheel(w) => w.peek_time_before(bound),
+            Inner::Heap(h) => h
+                .heap
+                .peek()
+                .map(|Reverse(e)| e.key.0)
+                .filter(|&t| bound == Cycles::MAX || t < bound),
+            // The sharded backend is bound-safe by construction: pushes
+            // below its drain floor detour through the mailbox/overlay
+            // merge instead of a wheel, so an unbounded peek cannot
+            // strand them.
+            Inner::Sharded(s) => s.peek_time().filter(|&t| bound == Cycles::MAX || t < bound),
+        }
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -1,0 +1,261 @@
+//! Cluster fabric and fault-domain vocabulary.
+//!
+//! The cluster plane (`app::cluster`) composes N per-host simulations
+//! behind a load-balancer tier. This module holds the `sim`-level
+//! configuration types for that composition: the latency/loss fabric
+//! between the LB and the hosts, whole-host fault schedules
+//! ([`HostEvent`]), the LB's health-check policy, and the client-side
+//! cross-host retry policy (distinct from the same-host SYN
+//! retransmission of [`crate::fault::RetransPolicy`]).
+//!
+//! Everything here is plain data: behavior — routing, eviction, retry
+//! scheduling — lives in the cluster runner, which draws from a
+//! dedicated RNG stream so a disabled fabric (`FabricConfig::none`)
+//! stays fingerprint-neutral.
+
+use crate::time::{ms, us, Cycles};
+
+/// Latency/loss model of the client↔LB↔host fabric. Applied to each
+/// injected connection: delivery is delayed by `latency` plus a uniform
+/// jitter draw, and lost outright with probability `loss_p` (a lost
+/// injection surfaces as a client connect failure and takes the
+/// cross-host retry path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Base one-way delivery latency from the LB tier to a host.
+    pub latency: Cycles,
+    /// Uniform extra delay in `[0, jitter]` per delivery (0 = none;
+    /// only a nonzero jitter draws randomness).
+    pub jitter: Cycles,
+    /// Probability a delivery is lost in the fabric (0 = lossless; only
+    /// a nonzero probability draws randomness).
+    pub loss_p: f64,
+}
+
+impl FabricConfig {
+    /// The zero fabric: instant, lossless, no RNG draws.
+    #[must_use]
+    pub const fn none() -> Self {
+        Self {
+            latency: 0,
+            jitter: 0,
+            loss_p: 0.0,
+        }
+    }
+
+    /// A LAN-ish default: 50 µs base latency, 10 µs jitter, lossless.
+    #[must_use]
+    pub const fn lan() -> Self {
+        Self {
+            latency: us(50),
+            jitter: us(10),
+            loss_p: 0.0,
+        }
+    }
+
+    /// Whether any knob draws randomness per delivery.
+    #[must_use]
+    pub fn draws_rng(&self) -> bool {
+        self.jitter > 0 || self.loss_p > 0.0
+    }
+}
+
+/// What happens to a host at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostEventKind {
+    /// Whole-host crash: every core dies at once, all in-flight
+    /// connections (and not-yet-fired injections) are lost, and the LB
+    /// keeps routing to the corpse until its health checks evict it.
+    Crash,
+    /// Boot a fresh instance of the host (after a crash or a drain).
+    /// The LB re-admits it through a slow-start ramp.
+    Restart,
+    /// Begin draining: the LB stops routing new connections to the host
+    /// while in-flight sessions finish. The orchestrator shuts the host
+    /// down when it quiesces (or at the drain deadline).
+    DrainStart,
+    /// Drain deadline: if the host is still draining at this instant it
+    /// is shut down regardless of remaining live connections. The
+    /// cluster runner schedules one automatically at
+    /// `DrainStart + drain_timeout`; an explicit one forces an earlier
+    /// cut.
+    DrainDone,
+}
+
+impl HostEventKind {
+    /// Harness label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HostEventKind::Crash => "crash",
+            HostEventKind::Restart => "restart",
+            HostEventKind::DrainStart => "drain",
+            HostEventKind::DrainDone => "drain_done",
+        }
+    }
+}
+
+/// One scheduled whole-host fault-domain event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostEvent {
+    /// Which host (index into the cluster's host list).
+    pub host: u16,
+    /// Absolute simulation time the event fires.
+    pub at: Cycles,
+    /// What happens.
+    pub kind: HostEventKind,
+}
+
+/// The LB tier's health-check policy: each host is probed every
+/// `interval`; `fails` consecutive failed probes evict it from the
+/// routing set. Detection latency is therefore bounded by
+/// `interval * (fails + 1)` after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthCheck {
+    /// Probe period.
+    pub interval: Cycles,
+    /// Consecutive failures before eviction.
+    pub fails: u32,
+}
+
+impl HealthCheck {
+    /// The paper-scale default: probe every 5 ms, evict after 3 misses.
+    #[must_use]
+    pub const fn fast() -> Self {
+        Self {
+            interval: ms(5),
+            fails: 3,
+        }
+    }
+
+    /// Worst-case time from crash to eviction under this policy.
+    #[must_use]
+    pub fn detection_bound(&self) -> Cycles {
+        self.interval * (Cycles::from(self.fails) + 1)
+    }
+}
+
+/// Client-side cross-host retry policy. A connection that fails at the
+/// cluster level — routed to a dead host before eviction, lost in the
+/// fabric, or stranded by a crash — re-resolves through the LB after an
+/// exponential backoff, up to `max_attempts` tries, and only while the
+/// retry budget holds. This is counted entirely separately from the
+/// same-host SYN retransmission of [`crate::fault::RetransPolicy`]:
+/// SYN retransmits re-send to the *same* host inside one injected
+/// connection; a cluster retry is a *new* connection through the LB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Base backoff: attempt `n` waits `backoff << (n-1)` (capped).
+    pub backoff: Cycles,
+    /// Maximum cross-host attempts per connection (1 retry = attempt 1).
+    pub max_attempts: u32,
+    /// Retry budget as a fraction of offered arrivals: a retry is only
+    /// scheduled while `retries_scheduled < budget * (arrivals + 1)`,
+    /// bounding retry amplification during a storm (the classic
+    /// client-library retry budget).
+    pub budget: f64,
+}
+
+impl RetryPolicy {
+    /// Default: 2 ms base backoff, 6 attempts, 25% budget.
+    #[must_use]
+    pub const fn default_policy() -> Self {
+        Self {
+            backoff: ms(2),
+            max_attempts: 6,
+            budget: 0.25,
+        }
+    }
+
+    /// Backoff before attempt `attempt` (1-based), exponential with a
+    /// shift cap so large attempt numbers cannot overflow.
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> Cycles {
+        self.backoff
+            .saturating_mul(1 << attempt.saturating_sub(1).min(16))
+    }
+}
+
+/// Expands a rolling restart over `hosts` hosts into a [`HostEvent`]
+/// schedule: host k starts draining at `start + k * stagger`, and its
+/// replacement instance boots `downtime` after the drain deadline. The
+/// cluster runner's own drain logic may shut a quiesced host down
+/// earlier; the restart time is fixed so the wave stays deterministic.
+#[must_use]
+pub fn rolling_restart(
+    hosts: u16,
+    start: Cycles,
+    stagger: Cycles,
+    drain_timeout: Cycles,
+    downtime: Cycles,
+) -> Vec<HostEvent> {
+    let mut evs = Vec::with_capacity(usize::from(hosts) * 2);
+    for h in 0..hosts {
+        let t = start + Cycles::from(h) * stagger;
+        evs.push(HostEvent {
+            host: h,
+            at: t,
+            kind: HostEventKind::DrainStart,
+        });
+        evs.push(HostEvent {
+            host: h,
+            at: t + drain_timeout + downtime,
+            kind: HostEventKind::Restart,
+        });
+    }
+    evs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fabric_draws_no_rng() {
+        assert!(!FabricConfig::none().draws_rng());
+        assert!(FabricConfig {
+            jitter: 1,
+            ..FabricConfig::none()
+        }
+        .draws_rng());
+        assert!(FabricConfig {
+            loss_p: 0.1,
+            ..FabricConfig::none()
+        }
+        .draws_rng());
+    }
+
+    #[test]
+    fn detection_bound_covers_all_probes() {
+        let h = HealthCheck {
+            interval: ms(10),
+            fails: 3,
+        };
+        // A crash just after a probe needs `fails` more probes, each a
+        // full interval apart, plus the partial interval to the first.
+        assert_eq!(h.detection_bound(), ms(40));
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::default_policy();
+        assert_eq!(p.backoff_for(1), ms(2));
+        assert_eq!(p.backoff_for(2), ms(4));
+        assert_eq!(p.backoff_for(4), ms(16));
+        // The shift saturates instead of overflowing.
+        let far = p.backoff_for(80);
+        assert_eq!(far, ms(2).saturating_mul(1 << 16));
+    }
+
+    #[test]
+    fn rolling_restart_schedule_is_staggered() {
+        let evs = rolling_restart(3, ms(100), ms(50), ms(20), ms(5));
+        assert_eq!(evs.len(), 6);
+        assert_eq!(evs[0].kind, HostEventKind::DrainStart);
+        assert_eq!(evs[0].at, ms(100));
+        assert_eq!(evs[1].kind, HostEventKind::Restart);
+        assert_eq!(evs[1].at, ms(125));
+        assert_eq!(evs[4].host, 2);
+        assert_eq!(evs[4].at, ms(200));
+    }
+}

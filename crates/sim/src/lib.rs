@@ -40,6 +40,7 @@
 
 pub mod core_set;
 pub mod events;
+pub mod fabric;
 pub mod fastmap;
 pub mod fault;
 pub mod fingerprint;
@@ -55,6 +56,7 @@ pub mod wheel;
 
 pub use core_set::{CoreSet, TaskId};
 pub use events::{Backend, EventQueue};
+pub use fabric::{FabricConfig, HealthCheck, HostEvent, HostEventKind};
 pub use fastmap::FastMap;
 pub use fault::{FaultPlan, FaultStats, RetransPolicy, StallWindow};
 pub use fingerprint::{ActiveFingerprint, Fingerprint, NoOpFingerprint};
