@@ -27,6 +27,7 @@
 //! always on; `simcheck` and the figure binaries' `--check` flag fail
 //! loudly when any law breaks.
 
+use mem::LineAgg;
 use sim::fault::FaultStats;
 use sim::overload::OverloadStats;
 use sim::time::{ms, Cycles};
@@ -173,6 +174,13 @@ pub struct RunAudit {
     pub reqs_created: u64,
     /// Request-table entries still half-open at end of run.
     pub reqs_residual: u64,
+    /// dprof-v2 cacheline-ledger totals across all types (every counter
+    /// zero when the ledger is off); the byte-conservation, fill, eviction
+    /// and reuse laws below are re-derived from this.
+    pub cacheline: LineAgg,
+    /// Whether the run enabled the dprof-v2 ledger; when false, every
+    /// cacheline counter must be zero (the plane is inert when disabled).
+    pub cacheline_active: bool,
 }
 
 impl RunAudit {
@@ -378,6 +386,45 @@ impl RunAudit {
             self.overload_active || o.is_zero(),
             format!("overload plane acted while disabled: {o:?}"),
         );
+
+        // dprof-v2 cacheline-ledger laws (DESIGN.md §13): the ledger is
+        // inert when disabled, every fetched byte is either touched or
+        // wasted, a fill pulls exactly one 64-byte line, every generation
+        // closes as one eviction, and every touch is settled into the
+        // reuse sum at generation close.
+        let cl = &self.cacheline;
+        check(
+            self.cacheline_active || cl.is_zero(),
+            format!("cacheline ledger recorded while disabled: {cl:?}"),
+        );
+        check(
+            cl.bytes_touched + cl.bytes_wasted == cl.bytes_fetched,
+            format!(
+                "cacheline byte conservation: touched {} + wasted {} != fetched {}",
+                cl.bytes_touched, cl.bytes_wasted, cl.bytes_fetched
+            ),
+        );
+        check(
+            cl.bytes_fetched == 64 * cl.fills,
+            format!(
+                "cacheline fill accounting: fetched {} != 64 x fills {}",
+                cl.bytes_fetched, cl.fills
+            ),
+        );
+        check(
+            cl.evictions == cl.fills + cl.warm_gens,
+            format!(
+                "cacheline eviction accounting: evictions {} != fills {} + warm_gens {}",
+                cl.evictions, cl.fills, cl.warm_gens
+            ),
+        );
+        check(
+            cl.reuse_sum == cl.touches,
+            format!(
+                "cacheline reuse accounting: reuse_sum {} != touches {}",
+                cl.reuse_sum, cl.touches
+            ),
+        );
         v
     }
 
@@ -449,6 +496,83 @@ mod tests {
             // 9 established + 1 overflow-dropped, nothing reaped or left.
             reqs_created: 10,
             reqs_residual: 0,
+            cacheline: LineAgg::default(),
+            cacheline_active: false,
+        }
+    }
+
+    /// A fixture with the dprof-v2 ledger active and internally
+    /// consistent totals (2 fills + 1 warm generation, all settled).
+    fn consistent_v2() -> RunAudit {
+        let mut a = consistent();
+        a.cacheline_active = true;
+        a.cacheline = LineAgg {
+            instances: 2,
+            fills: 2,
+            warm_gens: 1,
+            evictions: 3,
+            bytes_fetched: 128,
+            bytes_touched: 48,
+            bytes_wasted: 80,
+            touches: 7,
+            reuse_sum: 7,
+            rx_touches: 4,
+            app_touches: 2,
+            global_touches: 1,
+            shared_lines: 1,
+            shared_bytes: 24,
+        };
+        a
+    }
+
+    #[test]
+    fn consistent_v2_audit_passes() {
+        let a = consistent_v2();
+        assert!(a.is_ok(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn inactive_cacheline_ledger_must_be_silent() {
+        let mut a = consistent_v2();
+        a.cacheline_active = false;
+        assert!(a
+            .violations()
+            .iter()
+            .any(|m| m.contains("cacheline ledger recorded while disabled")));
+        // Flipping the flag alone (no counters) is legal: a v2 run that
+        // recorded nothing still audits clean.
+        let mut a = consistent();
+        a.cacheline_active = true;
+        assert!(a.is_ok(), "{:?}", a.violations());
+    }
+
+    type CorruptCase = (&'static str, fn(&mut LineAgg), &'static str);
+
+    #[test]
+    fn each_corrupted_cacheline_counter_is_reported() {
+        // Every new counter, corrupted one at a time, must trip a law.
+        let cases: [CorruptCase; 8] = [
+            ("bytes_wasted", |c| c.bytes_wasted += 1, "byte conservation"),
+            (
+                "bytes_touched",
+                |c| c.bytes_touched += 1,
+                "byte conservation",
+            ),
+            ("bytes_fetched", |c| c.bytes_fetched += 1, "cacheline"),
+            ("fills", |c| c.fills += 1, "cacheline"),
+            ("evictions", |c| c.evictions += 1, "eviction accounting"),
+            ("warm_gens", |c| c.warm_gens += 1, "eviction accounting"),
+            ("reuse_sum", |c| c.reuse_sum += 1, "reuse accounting"),
+            ("touches", |c| c.touches += 1, "reuse accounting"),
+        ];
+        for (name, corrupt, expect) in cases {
+            let mut a = consistent_v2();
+            corrupt(&mut a.cacheline);
+            assert!(
+                a.violations().iter().any(|m| m.contains(expect)),
+                "corrupting {name} tripped no {expect} law: {:?}",
+                a.violations()
+            );
         }
     }
 

@@ -163,6 +163,17 @@ pub struct RunConfig {
     pub lockstat: bool,
     /// Enable DProf (Tables 3–4, Figure 4).
     pub dprof: bool,
+    /// Enable the dprof-v2 per-cacheline ledger (wasted-bytes and
+    /// eviction-reuse reports). Pure accounting — no events, no RNG draws,
+    /// no latency changes — so toggling it is fingerprint-neutral; under
+    /// the `fast` feature the whole plane compiles out.
+    pub dprof_v2: bool,
+    /// Field-layout variant the cache model places objects with. The
+    /// default ([`mem::LayoutVariant::Paper`]) reproduces the paper's
+    /// kernel layouts bit-identically; [`mem::LayoutVariant::Packed`]
+    /// repacks hot fields by measured access affinity, which changes
+    /// charged latencies and therefore fingerprints — strictly opt-in.
+    pub layout: mem::LayoutVariant,
     /// Use Stock + hardware per-flow steering (§7.1 "Twenty-Policy").
     pub twenty_policy: bool,
     /// §6.5: run the batch job on the upper half of the cores, with this
@@ -250,6 +261,8 @@ impl RunConfig {
             seed: 1,
             lockstat: false,
             dprof: false,
+            dprof_v2: false,
+            layout: mem::LayoutVariant::Paper,
             twenty_policy: false,
             hog_work: None,
             steal_enabled: true,
@@ -336,6 +349,10 @@ pub struct RunResult {
     /// §11). Backend-independent: every `(shards, threads)` shape and
     /// both instrumentation modes report identical numbers.
     pub partition_stats: PartitionStats,
+    /// dprof-v2 cacheline report: per-type wasted-bytes and eviction-reuse
+    /// aggregates (empty with `enabled: false` unless
+    /// [`RunConfig::dprof_v2`] was set in an instrumented build).
+    pub cacheline: mem::CachelineStats,
     /// The kernel, for DProf and further inspection.
     pub kernel: Kernel,
 }
@@ -495,7 +512,16 @@ struct ConnApp {
 /// lane (or at a global serialization point such as hotplug), so a
 /// conflict-respecting executor could hand each `CoreState` to a
 /// different worker inside a wave without synchronization.
+///
+/// Field order is by measured access affinity (the same analysis dprof-v2
+/// applies to the modeled kernel structs, turned on the simulator's own
+/// lanes): the per-event hot set — both task stacks, the acceptor id, the
+/// redirection, and the shedding flag — is packed into the first host
+/// cache line; the rare hotplug/hog bookkeeping forms the cold tail.
+/// `repr(C)` pins the declared order so the split is real, and the size
+/// assert below keeps the lane from quietly outgrowing two lines.
 #[derive(Debug)]
+#[repr(C)]
 struct CoreState {
     /// Tasks sleeping in accept/poll on this core (a stack).
     sleep_acceptors: Vec<u32>,
@@ -503,23 +529,32 @@ struct CoreState {
     idle_workers: Vec<u32>,
     /// The core's Apache acceptor task (`u32::MAX` when lighttpd).
     acceptor: u32,
-    /// Workers spawned so far (for the lazy-growth cap).
-    workers_spawned: usize,
+    /// Ring-core → executing-core redirection (identity while up). A
+    /// dead core's ring keeps receiving already-steered packets; its
+    /// softirq work runs on the redirect target.
+    redirect: u16,
     /// Adaptive shedding engaged (answering SYNs with cookies until the
     /// queue drains below the low watermark).
     shed: bool,
     /// Core offline (explicit hotplug or watchdog).
     down: bool,
+    // --- cold tail: touched only by hotplug, lazy growth and hog polls ---
+    /// Workers spawned so far (for the lazy-growth cap).
+    workers_spawned: usize,
+    /// (busy_cycles, wall) seen at the last idle-scavenging hog poll.
+    hog_seen: (Cycles, Cycles),
     /// Whether the watchdog (not the schedule) took the core down; only
     /// those cores revive automatically when their stall clears.
     watchdog_marked: bool,
-    /// Ring-core → executing-core redirection (identity while up). A
-    /// dead core's ring keeps receiving already-steered packets; its
-    /// softirq work runs on the redirect target.
-    redirect: u16,
-    /// (busy_cycles, wall) seen at the last idle-scavenging hog poll.
-    hog_seen: (Cycles, Cycles),
 }
+
+// The hot set (two Vec headers + acceptor + redirect + shed + down) must
+// stay within the first 64 host bytes, and a lane within two lines.
+const _: () = assert!(std::mem::size_of::<CoreState>() <= 128);
+const _: () = {
+    assert!(std::mem::offset_of!(CoreState, down) < 64); // 1-byte field ends in line 0
+    assert!(std::mem::offset_of!(CoreState, workers_spawned) >= 56);
+};
 
 impl CoreState {
     fn new(core: u16) -> Self {
@@ -637,12 +672,15 @@ impl Runner {
     #[must_use]
     #[expect(clippy::needless_range_loop)]
     pub fn new(cfg: RunConfig) -> Self {
-        let mut k = Kernel::new(cfg.machine.clone());
+        let mut k = Kernel::new_with_layout(cfg.machine.clone(), cfg.layout);
         if cfg.lockstat {
             k.enable_lockstat();
         }
         if cfg.dprof {
             k.enable_dprof();
+        }
+        if cfg.dprof_v2 {
+            k.enable_dprof_v2();
         }
         k.init_files(cfg.tracked_files);
 
@@ -2298,6 +2336,7 @@ impl Runner {
             flow_migrations: stats_now.flow_migrations - self.base_listen.flow_migrations,
         };
         self.k.cache.fold_all_live();
+        let cacheline = self.k.cache.dprof.cacheline_stats();
         let wire_delta = self.nic.wire.bytes - self.base_wire_bytes;
         let wire_util = (wire_delta as f64 * 1.92) / window as f64;
 
@@ -2367,6 +2406,8 @@ impl Runner {
             overload_active: self.cfg.overload.is_active() || !self.cfg.hotplug.is_empty(),
             reqs_created: self.k.reqs.created(),
             reqs_residual: self.k.reqs.len() as u64,
+            cacheline: cacheline.totals(),
+            cacheline_active: cacheline.enabled,
         };
 
         // Recycle the queue, slab and timer table (reset, capacity kept)
@@ -2414,6 +2455,7 @@ impl Runner {
             timeouts_live_owner: self.timeouts_live_owner,
             timeouts_dead_owner: self.timeouts_dead_owner,
             partition_stats: self.planner.finish(),
+            cacheline,
             kernel: self.k,
         }
     }

@@ -1,0 +1,244 @@
+//! `cacheline` — the dprof-v2 cache-line waste experiment.
+//!
+//! Runs the fig6-style 48-core lighttpd configuration for each listen
+//! kind under both kernel-object layouts (the paper-faithful layout and
+//! the measured-affinity `packed` repack) with the dprof-v2 per-cacheline
+//! ledger recording, and reports wasted-bytes-per-request, fetch volume,
+//! and eviction-reuse per `(layout, kind)` cell plus the per-type
+//! breakdown behind each number.
+//!
+//! Two built-in checks:
+//!
+//! 1. **Fingerprint neutrality**: the ledger must never move a schedule —
+//!    a paper-layout Fine run with the ledger off must reproduce the
+//!    ledger-on fingerprint bit-for-bit (instrumented builds only; the
+//!    `fast` feature compiles both the ledger and the fingerprint plane
+//!    out).
+//! 2. **Packing payoff gate**: the packed layout must not waste more
+//!    bytes per request than the paper layout under Fine-Accept — the
+//!    same comparison `scenarios/cacheline_packed.json` pins with a
+//!    golden, here on the full fig6 machine shape. Failing the gate exits
+//!    nonzero. Skipped under `fast` (both sides read zero).
+//!
+//! Writes `results/cacheline.json` (schema `cacheline-v1`; pinned by
+//! `crates/bench/tests/json_schemas.rs`). CI runs `--smoke` on every
+//! push and the full windows nightly.
+//!
+//! Usage: `cacheline [--smoke] [--out PATH]`
+
+use app::{ListenKind, RunConfig, RunResult, Runner, ServerKind, Workload};
+use mem::LayoutVariant;
+use metrics::json::Json;
+use sim::time::ms;
+use sim::topology::Machine;
+
+const KINDS: [ListenKind; 3] = [ListenKind::Stock, ListenKind::Fine, ListenKind::Affinity];
+
+fn main() {
+    let usage = "cacheline [--smoke] [--out PATH]";
+    let mut args = bench::Args::parse(usage);
+    let smoke = args.flag("--smoke");
+    let out = args
+        .value("--out")
+        .unwrap_or_else(|| "results/cacheline.json".to_string());
+    args.finish();
+
+    bench::header("cacheline", "dprof-v2 cache-line waste by layout variant");
+    println!(
+        "mode: {}   instrumentation: {}   layouts: paper, packed",
+        if smoke { "smoke" } else { "full" },
+        instrumentation(),
+    );
+
+    // One ledger-on run per (layout, kind), fanned over the sweep pool.
+    let mut cfgs = Vec::new();
+    for variant in LayoutVariant::ALL {
+        for kind in KINDS {
+            cfgs.push(config(kind, variant, smoke, true));
+        }
+    }
+    let results = bench::sweep_fixed(cfgs);
+    let cells: Vec<(LayoutVariant, ListenKind, RunResult)> = LayoutVariant::ALL
+        .into_iter()
+        .flat_map(|v| KINDS.into_iter().map(move |k| (v, k)))
+        .zip(results)
+        .map(|((v, k), r)| (v, k, r))
+        .collect();
+
+    // Fingerprint neutrality: ledger off, same config, same schedule.
+    let baseline = Runner::new(config(ListenKind::Fine, LayoutVariant::Paper, smoke, false)).run();
+    let ledger_on = &cells
+        .iter()
+        .find(|(v, k, _)| *v == LayoutVariant::Paper && *k == ListenKind::Fine)
+        .expect("paper/fine cell ran")
+        .2;
+    assert_eq!(
+        baseline.fingerprint, ledger_on.fingerprint,
+        "dprof-v2 moved the schedule: ledger-off fp {:#018x} != ledger-on fp {:#018x}",
+        baseline.fingerprint, ledger_on.fingerprint
+    );
+    assert_eq!(baseline.served, ledger_on.served, "served diverged");
+
+    for (variant, kind, r) in &cells {
+        let w = r.cacheline.wasted_bytes_per_request(r.served);
+        let t = r.cacheline.totals();
+        println!(
+            "{:6} {:8} served={:6}  wasted/req={:8.1}B  fetched/req={:8.1}B  \
+             reuse/evict={:.2}  fp={:#018x}",
+            variant.label(),
+            kind.label(),
+            r.served,
+            w,
+            t.bytes_fetched as f64 / r.served.max(1) as f64,
+            t.reuse_per_eviction(),
+            r.fingerprint
+        );
+    }
+
+    let (gate_ok, packed_fine, paper_fine) = gate(&cells);
+    let report = report_json(smoke, &cells, gate_ok, packed_fine, paper_fine);
+    bench::write_artifact(&out, &report);
+    if !gate_ok {
+        println!(
+            "cacheline: packed layout wasted {packed_fine:.1} bytes/request under fine, \
+             above the paper layout's {paper_fine:.1} — the repack lost its payoff"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Which instrumentation planes this binary was compiled with.
+fn instrumentation() -> &'static str {
+    if cfg!(feature = "fast") {
+        "fast"
+    } else {
+        "full"
+    }
+}
+
+/// The fig6 machine shape (Intel, 48 cores, lighttpd, near-saturation
+/// fixed rate) with the given layout; smoke shrinks the windows but keeps
+/// the shape, exactly like `wallclock`.
+fn config(listen: ListenKind, variant: LayoutVariant, smoke: bool, ledger: bool) -> RunConfig {
+    let cores = 48;
+    let rate = bench::rate_guess(listen, ServerKind::lighttpd(), cores);
+    let mut cfg = RunConfig::new(
+        Machine::intel80(),
+        cores,
+        listen,
+        ServerKind::lighttpd(),
+        Workload::base(),
+        rate,
+    );
+    cfg.app_cycles = cfg.server.app_cycles();
+    if smoke {
+        cfg.warmup = ms(150);
+        cfg.measure = ms(100);
+    } else {
+        cfg.warmup = ms(450);
+        cfg.measure = ms(300);
+    }
+    cfg.layout = variant;
+    cfg.dprof_v2 = ledger;
+    cfg
+}
+
+/// The packing-payoff gate over the Fine cells. Returns
+/// `(ok, packed_wasted_per_req, paper_wasted_per_req)`.
+fn gate(cells: &[(LayoutVariant, ListenKind, RunResult)]) -> (bool, f64, f64) {
+    let fine = |variant| {
+        cells
+            .iter()
+            .find(|(v, k, _)| *v == variant && *k == ListenKind::Fine)
+            .map(|(_, _, r)| r.cacheline.wasted_bytes_per_request(r.served))
+            .expect("fine cell ran")
+    };
+    let packed = fine(LayoutVariant::Packed);
+    let paper = fine(LayoutVariant::Paper);
+    if cfg!(feature = "fast") {
+        println!("gate: skipped (fast instrumentation compiles the ledger out)");
+        return (true, packed, paper);
+    }
+    let ok = packed <= paper;
+    println!(
+        "gate: fine wasted/req packed {packed:.1}B vs paper {paper:.1}B: {}",
+        if ok { "ok" } else { "FAIL" }
+    );
+    (ok, packed, paper)
+}
+
+fn report_json(
+    smoke: bool,
+    cells: &[(LayoutVariant, ListenKind, RunResult)],
+    gate_ok: bool,
+    packed_fine: f64,
+    paper_fine: f64,
+) -> Json {
+    let variants: Vec<Json> = LayoutVariant::ALL
+        .into_iter()
+        .map(|variant| {
+            let kinds: Vec<Json> = cells
+                .iter()
+                .filter(|(v, _, _)| *v == variant)
+                .map(|(_, kind, r)| cell_json(*kind, r))
+                .collect();
+            Json::obj()
+                .field("layout", variant.label())
+                .field("kinds", Json::Arr(kinds))
+        })
+        .collect();
+    Json::obj()
+        .field("schema", "cacheline-v1")
+        .field("mode", if smoke { "smoke" } else { "full" })
+        .field("instrumentation", instrumentation())
+        .field("machine", "intel80")
+        .field("cores", 48u64)
+        .field("server", "lighttpd")
+        .field("ledger_fingerprint_neutral", true)
+        .field(
+            "gate",
+            Json::obj()
+                .field("checked", !cfg!(feature = "fast"))
+                .field("packed_fine_wasted_per_req", packed_fine)
+                .field("paper_fine_wasted_per_req", paper_fine)
+                .field("ok", gate_ok),
+        )
+        .field("ok", gate_ok)
+        .field("variants", Json::Arr(variants))
+}
+
+fn cell_json(kind: ListenKind, r: &RunResult) -> Json {
+    let t = r.cacheline.totals();
+    let served = r.served.max(1) as f64;
+    let types: Vec<Json> = r
+        .cacheline
+        .per_type
+        .iter()
+        .map(|(ty, agg)| {
+            Json::obj()
+                .field("type", ty.label())
+                .field("fills", agg.fills)
+                .field("warm_gens", agg.warm_gens)
+                .field("wasted_bytes_per_request", agg.bytes_wasted as f64 / served)
+                .field("reuse_per_eviction", agg.reuse_per_eviction())
+                .field("shared_lines", agg.shared_lines)
+                .field("shared_bytes", agg.shared_bytes)
+        })
+        .collect();
+    Json::obj()
+        .field("kind", kind.label())
+        .field("served", r.served)
+        .field("fingerprint", format!("{:#018x}", r.fingerprint))
+        .field("ledger_enabled", r.cacheline.enabled)
+        .field(
+            "wasted_bytes_per_request",
+            r.cacheline.wasted_bytes_per_request(r.served),
+        )
+        .field("bytes_fetched_per_request", t.bytes_fetched as f64 / served)
+        .field("reuse_per_eviction", t.reuse_per_eviction())
+        .field(
+            "busy_cycles_per_request",
+            r.audit.cycles.busy_window as f64 / served,
+        )
+        .field("types", Json::Arr(types))
+}

@@ -28,6 +28,12 @@
 //! The block comes from the wheel run and every sharded lane must
 //! reproduce it exactly (it depends only on the dispatch stream).
 //!
+//! Each kind also runs once more, untimed, with the dprof-v2 cache-line
+//! ledger recording (instrumented builds only): the run must reproduce
+//! the timed fingerprint exactly — the ledger is an observer — and its
+//! wasted-bytes-per-request / fetch volume / eviction-reuse figures land
+//! in the per-kind `cacheline` block of the report.
+//!
 //! Writes `results/BENCH_sim.json`. With `--baseline PATH` the run fails
 //! (exit 1) if its aggregate events/sec drops more than 30% below the
 //! `total_events_per_sec` recorded in the baseline file, **or** if any
@@ -37,9 +43,14 @@
 //! baseline carry sharded lanes, the *parallel-speedup* lane also gates:
 //! the aggregate sharded-vs-wheel wall ratio at the highest common thread
 //! count must stay within 25% of the baseline's ratio, so the parallel
-//! drain path cannot silently rot relative to the serial wheel. Set
-//! `WALLCLOCK_NO_GATE=1` to bypass the gates (e.g. on a host known to be
-//! slower than the one that produced the committed baseline).
+//! drain path cannot silently rot relative to the serial wheel. When both
+//! sides carry `cacheline` blocks, the *bytes-per-request* lane gates
+//! too: a kind's wasted-bytes-per-request may not rise more than 30%
+//! above the baseline's figure (the metric is simulated and
+//! deterministic, so a trip always means a code change regressed cache
+//! behaviour, never host noise). Set `WALLCLOCK_NO_GATE=1` to bypass the
+//! gates (e.g. on a host known to be slower than the one that produced
+//! the committed baseline).
 //!
 //! Usage: `wallclock [--smoke] [--repeats N] [--threads LIST] [--baseline PATH] [--out PATH]`
 
@@ -233,6 +244,16 @@ struct KindRow {
     /// Conflict-partition accounting of the dispatch stream (identical
     /// on every backend; captured from the wheel run).
     stats: PartitionStats,
+    /// Cache-line waste from the untimed dprof-v2 ledger run; `None`
+    /// under `fast` instrumentation (the ledger is compiled out).
+    cacheline: Option<CacheWaste>,
+}
+
+/// The figures the per-kind `cacheline` report block carries.
+struct CacheWaste {
+    wasted_per_req: f64,
+    fetched_per_req: f64,
+    reuse_per_eviction: f64,
 }
 
 /// Best-of-`repeats` wall per backend; asserts the two serial backends
@@ -293,6 +314,43 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
         stats.serialization_points,
         stats.conflicted_events
     );
+    // One more untimed run with the dprof-v2 ledger on. The ledger is an
+    // observer: any fingerprint or event-count drift from the timed runs
+    // means it perturbed the schedule, and the benchmark aborts.
+    let cacheline = if cfg!(feature = "fast") {
+        None
+    } else {
+        let mut cfg = fig6_config(listen, opts.smoke);
+        cfg.evq = Backend::Wheel;
+        cfg.dprof_v2 = true;
+        let r = Runner::new(cfg).run();
+        assert_eq!(
+            r.fingerprint,
+            fps[1],
+            "{}: dprof-v2 ledger moved the schedule (fp {:#018x} != {:#018x})",
+            listen.label(),
+            r.fingerprint,
+            fps[1]
+        );
+        assert_eq!(
+            r.events_executed,
+            events[1],
+            "{}: dprof-v2 event counts diverged",
+            listen.label()
+        );
+        let t = r.cacheline.totals();
+        let served = r.served.max(1) as f64;
+        let waste = CacheWaste {
+            wasted_per_req: r.cacheline.wasted_bytes_per_request(r.served),
+            fetched_per_req: t.bytes_fetched as f64 / served,
+            reuse_per_eviction: t.reuse_per_eviction(),
+        };
+        println!(
+            "{:8} cacheline: wasted/req={:.1}B  fetched/req={:.1}B  reuse/evict={:.2}",
+            "", waste.wasted_per_req, waste.fetched_per_req, waste.reuse_per_eviction
+        );
+        Some(waste)
+    };
     let mut sharded = Vec::new();
     for &threads in &opts.threads {
         let mut wall = f64::INFINITY;
@@ -344,6 +402,7 @@ fn run_kind(listen: ListenKind, opts: &Opts) -> KindRow {
         heap_wall: walls[0],
         sharded,
         stats,
+        cacheline,
     }
 }
 
@@ -447,6 +506,15 @@ fn report_json(
                     .field("parallel_fraction", s.parallel_fraction())
                     .field("speedup_bound", s.speedup_bound()),
             );
+            if let Some(c) = &row.cacheline {
+                j = j.field(
+                    "cacheline",
+                    Json::obj()
+                        .field("wasted_bytes_per_request", c.wasted_per_req)
+                        .field("bytes_fetched_per_request", c.fetched_per_req)
+                        .field("reuse_per_eviction", c.reuse_per_eviction),
+                );
+            }
             if !row.sharded.is_empty() {
                 let lanes: Vec<Json> = row
                     .sharded
@@ -544,11 +612,35 @@ fn gate(path: &str, total_eps: f64, kinds: &[KindRow]) {
             row.listen.label()
         );
     }
+    for row in kinds {
+        let Some(c) = &row.cacheline else {
+            continue; // fast instrumentation: the ledger is compiled out
+        };
+        let Some(base) = baseline_kind_waste(&baseline, row.listen.label()) else {
+            println!(
+                "gate: {:8} no cacheline baseline, skipped",
+                row.listen.label()
+            );
+            continue;
+        };
+        let ceiling = base * 1.3;
+        let verdict = if c.wasted_per_req <= ceiling {
+            "ok"
+        } else {
+            "FAIL"
+        };
+        failed |= c.wasted_per_req > ceiling;
+        println!(
+            "gate: {:8} wasted {:.1} B/req vs baseline {base:.1} (ceiling {ceiling:.1}): {verdict}",
+            row.listen.label(),
+            c.wasted_per_req
+        );
+    }
     failed |= parallel_gate(&baseline, kinds);
     if failed {
         println!(
-            "wallclock: events/sec regressed more than 30% vs {path}; \
-             set WALLCLOCK_NO_GATE=1 to bypass on a slower host"
+            "wallclock: events/sec or wasted-bytes/request regressed more than 30% \
+             vs {path}; set WALLCLOCK_NO_GATE=1 to bypass on a slower host"
         );
         std::process::exit(1);
     }
@@ -640,9 +732,22 @@ fn baseline_kind_eps(baseline: &Json, label: &str) -> Option<f64> {
         .and_then(|row| number(row, "events_per_sec"))
 }
 
+/// The `cacheline.wasted_bytes_per_request` recorded for one listen kind
+/// in a baseline report. `None` when the baseline predates the dprof-v2
+/// ledger or was produced under `fast` instrumentation.
+fn baseline_kind_waste(baseline: &Json, label: &str) -> Option<f64> {
+    let Json::Arr(rows) = baseline.get("kinds")? else {
+        return None;
+    };
+    rows.iter()
+        .find(|row| matches!(row.get("listen"), Some(Json::Str(l)) if l == label))
+        .and_then(|row| row.get("cacheline"))
+        .and_then(|c| number(c, "wasted_bytes_per_request"))
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{baseline_kind_eps, baseline_parallel_ratio, number, Json};
+    use super::{baseline_kind_eps, baseline_kind_waste, baseline_parallel_ratio, number, Json};
 
     #[test]
     fn aggregates_the_baseline_parallel_ratio() {
@@ -687,5 +792,21 @@ mod tests {
         assert_eq!(baseline_kind_eps(&doc, "fine"), Some(50.5));
         assert_eq!(baseline_kind_eps(&doc, "affinity"), None);
         assert_eq!(baseline_kind_eps(&Json::obj(), "stock"), None);
+    }
+
+    #[test]
+    fn finds_per_kind_cacheline_baselines() {
+        let doc = Json::parse(
+            r#"{"kinds": [
+                 {"listen": "stock",
+                  "cacheline": {"wasted_bytes_per_request": 9973.2}},
+                 {"listen": "fine"}]}"#,
+        )
+        .unwrap();
+        assert_eq!(baseline_kind_waste(&doc, "stock"), Some(9973.2));
+        // A kind without the block (e.g. a pre-ledger baseline): skipped.
+        assert_eq!(baseline_kind_waste(&doc, "fine"), None);
+        assert_eq!(baseline_kind_waste(&doc, "affinity"), None);
+        assert_eq!(baseline_kind_waste(&Json::obj(), "stock"), None);
     }
 }

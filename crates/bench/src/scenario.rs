@@ -21,6 +21,7 @@ use app::{
     ClusterConfig, ClusterResult, ClusterRunner, LbPolicy, ListenKind, RunConfig, RunResult,
     ServerKind, Workload,
 };
+use mem::LayoutVariant;
 use metrics::json::Json;
 use sim::events::Backend;
 use sim::fabric::{HostEvent, HostEventKind};
@@ -166,6 +167,13 @@ pub struct Gates {
     /// Maximum client timeouts whose connection was owned by a live core
     /// (the recovery plane's no-collateral-damage bound).
     pub max_timeouts_live_owner: Option<u64>,
+    /// Require the Fine-Accept kind's wasted-bytes-per-request under the
+    /// scenario's `packed` layout to stay at or below the same
+    /// configuration re-run with the paper layout (the dprof-v2 packing
+    /// payoff gate). Needs `dprof_v2`, `layout: "packed"`, a `fine` kind,
+    /// and a single-host scenario; skipped under the `fast` feature (the
+    /// ledger is compiled out).
+    pub packed_wasted_lte_paper: bool,
 }
 
 impl Default for Gates {
@@ -179,6 +187,7 @@ impl Default for Gates {
             min_cookies: 0,
             min_rehomes: 0,
             max_timeouts_live_owner: None,
+            packed_wasted_lte_paper: false,
         }
     }
 }
@@ -242,6 +251,13 @@ pub struct Scenario {
     pub host_faults: Vec<HostEvent>,
     /// Timeline bucket width (0 disables collection).
     pub timeline_bucket: Cycles,
+    /// Record the dprof-v2 per-cacheline ledger (fingerprint-neutral;
+    /// compiled out under the `fast` feature).
+    pub dprof_v2: bool,
+    /// Kernel-object field layout. `Packed` re-tiles hot fields by access
+    /// affinity and therefore changes charged latencies and fingerprints —
+    /// strictly opt-in; the default is the paper-faithful layout.
+    pub layout: LayoutVariant,
     /// Outcome gates.
     pub gates: Gates,
     /// Golden fingerprints (empty until `scenario --record`).
@@ -281,6 +297,8 @@ impl Scenario {
             lb: LbPolicy::ConsistentHash,
             host_faults: Vec::new(),
             timeline_bucket: 0,
+            dprof_v2: false,
+            layout: LayoutVariant::Paper,
             gates: Gates::default(),
             golden: Vec::new(),
             smoke: false,
@@ -340,6 +358,8 @@ impl Scenario {
         cfg.overload = self.overload.clone();
         cfg.hotplug = self.hotplug.clone();
         cfg.timeline_bucket = self.timeline_bucket;
+        cfg.dprof_v2 = self.dprof_v2;
+        cfg.layout = self.layout;
         cfg
     }
 
@@ -763,6 +783,7 @@ fn parse_gates(v: &Json, path: &str) -> Result<Gates, String> {
             "max_timeouts_live_owner" => {
                 g.max_timeouts_live_owner = Some(want_u64(v, &p)?);
             }
+            "packed_wasted_lte_paper" => g.packed_wasted_lte_paper = want_bool(v, &p)?,
             _ => return Err(format!("{p}: unknown key")),
         }
     }
@@ -892,6 +913,13 @@ impl Scenario {
                 }
                 "host_faults" => s.host_faults = parse_host_faults(v, &p)?,
                 "timeline_bucket_ms" => s.timeline_bucket = want_ms(v, &p)?,
+                "dprof_v2" => s.dprof_v2 = want_bool(v, &p)?,
+                "layout" => {
+                    let label = want_str(v, &p)?;
+                    s.layout = LayoutVariant::from_label(label).ok_or_else(|| {
+                        format!("{p}: unknown layout {label:?} (paper or packed)")
+                    })?;
+                }
                 "gates" => s.gates = parse_gates(v, &p)?,
                 "golden" => s.golden = parse_golden(v, &p)?,
                 "smoke" => s.smoke = want_bool(v, &p)?,
@@ -1040,6 +1068,30 @@ impl Scenario {
                         ev.at
                     ));
                 }
+            }
+        }
+        if self.gates.packed_wasted_lte_paper {
+            if !self.dprof_v2 || self.layout != LayoutVariant::Packed {
+                return Err(
+                    "gates.packed_wasted_lte_paper: requires dprof_v2 true and layout \
+                     \"packed\" (the gate compares the packed ledger against a paper-layout \
+                     twin run)"
+                        .to_string(),
+                );
+            }
+            if !self.kinds.contains(&ListenKind::Fine) {
+                return Err(
+                    "gates.packed_wasted_lte_paper: requires the \"fine\" kind (the gate \
+                     targets Fine-Accept's sharing profile)"
+                        .to_string(),
+                );
+            }
+            if self.hosts > 0 {
+                return Err(
+                    "gates.packed_wasted_lte_paper: cluster scenarios do not aggregate the \
+                     cacheline ledger; requires hosts == 0"
+                        .to_string(),
+                );
             }
         }
         if !self.gates.ordering.is_empty() {
@@ -1210,6 +1262,8 @@ impl Scenario {
         }
         doc = doc
             .field("timeline_bucket_ms", self.timeline_bucket / CYCLES_PER_MS)
+            .field("dprof_v2", self.dprof_v2)
+            .field("layout", self.layout.label())
             .field("gates", gates_json(&self.gates));
         if !self.golden.is_empty() {
             doc = doc.field("golden", golden_json(&self.golden));
@@ -1300,7 +1354,7 @@ fn gates_json(g: &Gates) -> Json {
     if let Some(cap) = g.max_timeouts_live_owner {
         j = j.field("max_timeouts_live_owner", cap);
     }
-    j
+    j.field("packed_wasted_lte_paper", g.packed_wasted_lte_paper)
 }
 
 fn golden_json(golden: &[GoldenEntry]) -> Json {
@@ -1360,6 +1414,12 @@ pub struct KindReport {
     pub rehomes: u64,
     /// Client timeouts on live-owner established connections.
     pub timeouts_live_owner: u64,
+    /// dprof-v2 wasted bytes per served request across the kind's runs
+    /// (0.0 when the ledger was off or compiled out).
+    pub wasted_bytes_per_request: f64,
+    /// The same number from the paper-layout twin runs the
+    /// `packed_wasted_lte_paper` gate performs (0.0 when no twin ran).
+    pub paper_wasted_bytes_per_request: f64,
     /// Conservation-audit violations across all runs (empty = clean).
     pub audit: Vec<String>,
     /// Per-run summaries in `(cores, rate multiplier)` order.
@@ -1378,6 +1438,8 @@ impl KindReport {
             cookies: rs.iter().map(|(_, _, r)| r.overload.cookies_issued).sum(),
             rehomes: rs.iter().map(|(_, _, r)| r.overload.rehome_ops).sum(),
             timeouts_live_owner: rs.iter().map(|(_, _, r)| r.timeouts_live_owner).sum(),
+            wasted_bytes_per_request: wasted_per_request(rs),
+            paper_wasted_bytes_per_request: 0.0,
             audit: rs
                 .iter()
                 .enumerate()
@@ -1416,6 +1478,8 @@ impl KindReport {
             cookies: 0,
             rehomes: 0,
             timeouts_live_owner: rs.iter().map(|(_, _, r)| r.timeouts_live_owner).sum(),
+            wasted_bytes_per_request: 0.0,
+            paper_wasted_bytes_per_request: 0.0,
             audit: rs
                 .iter()
                 .enumerate()
@@ -1451,6 +1515,11 @@ impl KindReport {
             .field("cookies", self.cookies)
             .field("rehomes", self.rehomes)
             .field("timeouts_live_owner", self.timeouts_live_owner)
+            .field("wasted_bytes_per_request", self.wasted_bytes_per_request)
+            .field(
+                "paper_wasted_bytes_per_request",
+                self.paper_wasted_bytes_per_request,
+            )
             .field(
                 "audit_violations",
                 Json::Arr(self.audit.iter().map(|v| Json::from(v.as_str())).collect()),
@@ -1473,6 +1542,18 @@ impl KindReport {
                 ),
             )
     }
+}
+
+/// dprof-v2 wasted bytes per served request summed over a kind's runs.
+fn wasted_per_request(rs: &[(usize, f64, RunResult)]) -> f64 {
+    let wasted: u64 = rs
+        .iter()
+        .map(|(_, _, r)| r.cacheline.totals().bytes_wasted)
+        .sum();
+    let served: u64 = rs.iter().map(|(_, _, r)| r.served).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let out = wasted as f64 / served.max(1) as f64;
+    out
 }
 
 /// The outcome of running one scenario.
@@ -1545,7 +1626,7 @@ impl Scenario {
             .zip(results)
             .map(|((cores, rate), r)| (cores, rate, r))
             .collect();
-        let kinds: Vec<KindReport> = self
+        let mut kinds: Vec<KindReport> = self
             .kinds
             .iter()
             .enumerate()
@@ -1556,12 +1637,44 @@ impl Scenario {
                 )
             })
             .collect();
+        self.run_paper_twin(workers, &mut kinds);
         let problems = self.evaluate(&kinds);
         ScenarioReport {
             name: self.name.clone(),
             problems,
             kinds,
         }
+    }
+
+    /// When the `packed_wasted_lte_paper` gate is set, re-runs the Fine
+    /// kind's configurations with the paper layout (everything else
+    /// identical) and records its wasted-bytes-per-request on the Fine
+    /// report as the gate's comparison point. A no-op under `fast`: the
+    /// ledger is compiled out, so both sides would read zero.
+    fn run_paper_twin(&self, workers: usize, kinds: &mut [KindReport]) {
+        if !self.gates.packed_wasted_lte_paper || cfg!(feature = "fast") {
+            return;
+        }
+        let Some(report) = kinds.iter_mut().find(|kr| kr.kind == ListenKind::Fine) else {
+            return;
+        };
+        let mut cfgs = Vec::new();
+        let mut shapes = Vec::new();
+        for &cores in &self.cores_list() {
+            for &mult in &self.rate_curve {
+                let mut cfg = self.config(ListenKind::Fine, cores, mult);
+                cfg.layout = LayoutVariant::Paper;
+                shapes.push((cfg.cores, cfg.conn_rate));
+                cfgs.push(cfg);
+            }
+        }
+        let results = crate::sweep_fixed_workers(cfgs, workers);
+        let tagged: Vec<(usize, f64, RunResult)> = shapes
+            .into_iter()
+            .zip(results)
+            .map(|((cores, rate), r)| (cores, rate, r))
+            .collect();
+        report.paper_wasted_bytes_per_request = wasted_per_request(&tagged);
     }
 
     /// The cluster-plane run path (`hosts >= 1`): every `(kind, cores,
@@ -1661,6 +1774,22 @@ impl Scenario {
                     problems.push(format!(
                         "{lbl}: {} live-owner timeouts exceed gate max {cap}",
                         kr.timeouts_live_owner
+                    ));
+                }
+            }
+        }
+        // The packing-payoff gate: skipped under `fast` (the ledger reads
+        // zero on both sides) and when no twin ran (e.g. synthetic
+        // reports in unit tests carry no twin measurement).
+        if g.packed_wasted_lte_paper && !cfg!(feature = "fast") {
+            if let Some(kr) = kinds.iter().find(|kr| kr.kind == ListenKind::Fine) {
+                if kr.paper_wasted_bytes_per_request > 0.0
+                    && kr.wasted_bytes_per_request > kr.paper_wasted_bytes_per_request
+                {
+                    problems.push(format!(
+                        "packed layout gate: fine wasted {:.1} bytes/request under packed, \
+                         above the paper layout's {:.1}",
+                        kr.wasted_bytes_per_request, kr.paper_wasted_bytes_per_request
                     ));
                 }
             }
@@ -1906,6 +2035,8 @@ mod tests {
             },
         ];
         s.timeline_bucket = ms(10);
+        s.dprof_v2 = true;
+        s.layout = LayoutVariant::Packed;
         s.gates = Gates {
             audit_clean: true,
             min_served: 1000,
@@ -1915,6 +2046,7 @@ mod tests {
             min_cookies: 5,
             min_rehomes: 1,
             max_timeouts_live_owner: Some(0),
+            packed_wasted_lte_paper: false,
         };
         s.golden = vec![GoldenEntry {
             kind: ListenKind::Affinity,
@@ -2042,6 +2174,10 @@ mod tests {
             })
             .collect();
         s.timeline_bucket = ms(rng.below(100));
+        s.dprof_v2 = rng.chance(0.3);
+        if rng.chance(0.3) {
+            s.layout = LayoutVariant::Packed;
+        }
         if rng.chance(0.3) {
             s.hosts = 1 + rng.index(4);
             s.lb = match rng.index(3) {
@@ -2082,6 +2218,14 @@ mod tests {
         }
         if rng.chance(0.3) {
             s.gates.max_timeouts_live_owner = Some(rng.below(5));
+        }
+        if s.dprof_v2
+            && s.layout == LayoutVariant::Packed
+            && s.kinds.contains(&ListenKind::Fine)
+            && s.hosts == 0
+            && rng.chance(0.5)
+        {
+            s.gates.packed_wasted_lte_paper = true;
         }
         if s.search == Search::Fixed && rng.chance(0.5) {
             s.golden = s
@@ -2235,6 +2379,22 @@ mod tests {
                 "gates: min_cookies/min_rehomes are per-host overload counters",
             ),
             (
+                r#"{"name":"x","layout":"zigzag"}"#,
+                "layout: unknown layout \"zigzag\"",
+            ),
+            (
+                r#"{"name":"x","gates":{"packed_wasted_lte_paper":true}}"#,
+                "gates.packed_wasted_lte_paper: requires dprof_v2 true and layout",
+            ),
+            (
+                r#"{"name":"x","dprof_v2":true,"layout":"packed","kinds":["affinity"],"gates":{"packed_wasted_lte_paper":true}}"#,
+                "gates.packed_wasted_lte_paper: requires the \"fine\" kind",
+            ),
+            (
+                r#"{"name":"x","dprof_v2":true,"layout":"packed","kinds":["fine"],"hosts":2,"gates":{"packed_wasted_lte_paper":true}}"#,
+                "gates.packed_wasted_lte_paper: cluster scenarios",
+            ),
+            (
                 "{\"name\":\"x\"",
                 "", /* truncated document: any parse error, no panic */
             ),
@@ -2321,6 +2481,8 @@ mod tests {
             cookies: 0,
             rehomes: 0,
             timeouts_live_owner: 0,
+            wasted_bytes_per_request: 0.0,
+            paper_wasted_bytes_per_request: 0.0,
             audit: Vec::new(),
             runs: Vec::new(),
         };
@@ -2351,5 +2513,45 @@ mod tests {
         ]);
         let expect = usize::from(!cfg!(feature = "fast")); // golden served 50 != 150
         assert_eq!(clean.len(), expect, "{clean:?}");
+    }
+
+    #[test]
+    fn packed_waste_gate_compares_against_the_paper_twin() {
+        let mut s = Scenario::base("packed_gate");
+        s.kinds = vec![ListenKind::Fine];
+        s.dprof_v2 = true;
+        s.layout = LayoutVariant::Packed;
+        s.gates.packed_wasted_lte_paper = true;
+        s.validate().expect("gate preconditions hold");
+        let back = Scenario::parse_str(&s.to_json().render()).expect("round trips");
+        assert_eq!(back, s);
+        let report = |wasted: f64, paper: f64| KindReport {
+            kind: ListenKind::Fine,
+            served: 10,
+            completed: 10,
+            timeouts: 0,
+            fingerprint: 0x1,
+            cookies: 0,
+            rehomes: 0,
+            timeouts_live_owner: 0,
+            wasted_bytes_per_request: wasted,
+            paper_wasted_bytes_per_request: paper,
+            audit: Vec::new(),
+            runs: Vec::new(),
+        };
+        // Packed wasting more than paper trips the gate (instrumented
+        // builds only; `fast` compiles the ledger out and skips it).
+        let worse = s.evaluate(&[report(120.0, 90.0)]);
+        if cfg!(feature = "fast") {
+            assert!(worse.is_empty(), "{worse:?}");
+        } else {
+            assert!(
+                worse.iter().any(|p| p.contains("packed layout gate")),
+                "{worse:?}"
+            );
+        }
+        // At-or-below passes, and a missing twin (0.0) never fires.
+        assert!(s.evaluate(&[report(80.0, 90.0)]).is_empty());
+        assert!(s.evaluate(&[report(120.0, 0.0)]).is_empty());
     }
 }

@@ -230,6 +230,10 @@ fn scenario_artifact_schema_round_trips() {
             assert_u64(row, "cookies");
             assert_u64(row, "rehomes");
             assert_u64(row, "timeouts_live_owner");
+            // The dprof-v2 waste columns the packed-layout gate reads
+            // (zero when the scenario keeps the ledger off).
+            assert_num(row, "wasted_bytes_per_request");
+            assert_num(row, "paper_wasted_bytes_per_request");
             assert!(matches!(obj(row, "audit_violations"), Json::Arr(_)));
             let runs = arr(row, "runs");
             assert!(!runs.is_empty(), "kind reports at least one run");
@@ -240,6 +244,54 @@ fn scenario_artifact_schema_round_trips() {
                 assert_num(run, "rps_per_core");
                 assert!(matches!(obj(run, "fingerprint"), Json::Str(_)));
                 assert_u64(run, "events");
+            }
+        }
+    }
+}
+
+#[test]
+fn cacheline_artifact_schema_round_trips() {
+    let out = tmp("cacheline.json");
+    let doc = run_binary(env!("CARGO_BIN_EXE_cacheline"), &["--smoke"], &out);
+    assert!(matches!(obj(&doc, "schema"), Json::Str(_)));
+    assert!(matches!(obj(&doc, "mode"), Json::Str(_)));
+    assert!(matches!(obj(&doc, "instrumentation"), Json::Str(_)));
+    assert_bool(&doc, "ledger_fingerprint_neutral");
+    assert_bool(&doc, "ok");
+    let gate = obj(&doc, "gate");
+    assert_bool(gate, "checked");
+    assert_num(gate, "packed_fine_wasted_per_req");
+    assert_num(gate, "paper_fine_wasted_per_req");
+    assert_bool(gate, "ok");
+    let variants = arr(&doc, "variants");
+    assert_eq!(variants.len(), 2, "paper and packed variants");
+    for variant in variants {
+        assert!(matches!(obj(variant, "layout"), Json::Str(_)));
+        let kinds = arr(variant, "kinds");
+        assert_eq!(kinds.len(), 3, "stock, fine, affinity");
+        for row in kinds {
+            assert!(matches!(obj(row, "kind"), Json::Str(_)));
+            assert_u64(row, "served");
+            assert!(matches!(obj(row, "fingerprint"), Json::Str(_)));
+            assert_bool(row, "ledger_enabled");
+            assert_num(row, "wasted_bytes_per_request");
+            assert_num(row, "bytes_fetched_per_request");
+            assert_num(row, "reuse_per_eviction");
+            assert_num(row, "busy_cycles_per_request");
+            let types = arr(row, "types");
+            if cfg!(feature = "fast") {
+                assert!(types.is_empty(), "fast compiles the ledger out");
+            } else {
+                assert!(!types.is_empty(), "instrumented run records types");
+                for t in types {
+                    assert!(matches!(obj(t, "type"), Json::Str(_)));
+                    assert_u64(t, "fills");
+                    assert_u64(t, "warm_gens");
+                    assert_num(t, "wasted_bytes_per_request");
+                    assert_num(t, "reuse_per_eviction");
+                    assert_u64(t, "shared_lines");
+                    assert_u64(t, "shared_bytes");
+                }
             }
         }
     }
@@ -280,6 +332,21 @@ fn wallclock_artifact_schema_round_trips() {
         assert_u64(part, "critical_path_events");
         assert_num(part, "parallel_fraction");
         assert_num(part, "speedup_bound");
+
+        // The cacheline block the bytes-per-request gate reads back:
+        // present in instrumented builds, omitted under `fast` (the
+        // ledger is compiled out, so there is nothing to report).
+        if cfg!(feature = "fast") {
+            assert!(
+                row.get("cacheline").is_none(),
+                "fast build must omit the cacheline block"
+            );
+        } else {
+            let cl = obj(row, "cacheline");
+            assert_num(cl, "wasted_bytes_per_request");
+            assert_num(cl, "bytes_fetched_per_request");
+            assert_num(cl, "reuse_per_eviction");
+        }
 
         // The sharded lanes the parallel-speedup gate reads back.
         let lanes = arr(row, "sharded");

@@ -19,9 +19,10 @@
 //!
 //! An access beyond L2 counts as an L2 miss (Table 3's third counter).
 
-use crate::dprof::DProf;
+use crate::dprof::{DProf, LineAgg, TouchSide};
 use crate::layout;
-use crate::types::DataType;
+use crate::layout::LayoutVariant;
+use crate::types::{DataType, CACHE_LINE};
 use serde::{Deserialize, Serialize};
 use sim::topology::{CoreId, Machine};
 
@@ -80,6 +81,136 @@ struct LineState {
     warm: bool,
 }
 
+/// Per-line dprof-v2 ledger: byte-granular fetch/touch accounting between
+/// fill and eviction (a *generation*) plus sharing across an object
+/// incarnation (alloc/recycle to free/recycle).
+///
+/// The ledger is pure bookkeeping layered on top of [`LineState`]: it never
+/// feeds back into service levels or latencies, which is what keeps dprof-v2
+/// fingerprint-neutral.
+#[derive(Debug, Clone, Copy)]
+struct LineLedger {
+    /// Cores that touched the line this incarnation.
+    touchers: u128,
+    /// Bytes touched this generation (bit i = byte i of the line).
+    gen_mask: u64,
+    /// Bytes touched by a non-first core this incarnation.
+    other_mask: u64,
+    /// Accesses this generation.
+    touches: u32,
+    /// First core to touch the line this incarnation (`u16::MAX` = none).
+    first: u16,
+    /// Generation state: [`Self::CLOSED`], [`Self::WARM`], [`Self::FILLED`].
+    state: u8,
+}
+
+// The ledger rides alongside every modeled hot line when dprof-v2 is on;
+// keep it within one cache line of host memory per three modeled lines.
+const _: () = assert!(std::mem::size_of::<LineLedger>() <= 48);
+const _: () = assert!(std::mem::size_of::<LineState>() <= 32);
+
+impl LineLedger {
+    /// No open generation.
+    const CLOSED: u8 = 0;
+    /// Open generation on a line that was already resident (post-recycle
+    /// hit): reuse is tracked but no fetch is charged.
+    const WARM: u8 = 1;
+    /// Open generation started by a fill (the core fetched the line).
+    const FILLED: u8 = 2;
+
+    fn new() -> Self {
+        Self {
+            touchers: 0,
+            gen_mask: 0,
+            other_mask: 0,
+            touches: 0,
+            first: u16::MAX,
+            state: Self::CLOSED,
+        }
+    }
+
+    /// Records one access. `filled` means the accessing core had no copy of
+    /// the line before the touch, i.e. the coherence model served a fetch.
+    fn touch(&mut self, delta: &mut LineAgg, c: usize, filled: bool, mask: u64, side: TouchSide) {
+        if filled {
+            // A fetch by a core without a copy closes the previous
+            // generation (its bytes are settled) and opens a filled one.
+            self.close_gen(delta);
+            self.state = Self::FILLED;
+            delta.fills += 1;
+        } else if self.state == Self::CLOSED {
+            self.state = Self::WARM;
+            delta.warm_gens += 1;
+        }
+        self.gen_mask |= mask;
+        self.touches += 1;
+        delta.touches += 1;
+        match side {
+            TouchSide::Rx => delta.rx_touches += 1,
+            TouchSide::App => delta.app_touches += 1,
+            TouchSide::Global => delta.global_touches += 1,
+        }
+        let cc = c as u16;
+        if self.first == u16::MAX {
+            self.first = cc;
+        } else if self.first != cc {
+            self.other_mask |= mask;
+        }
+        self.touchers |= 1u128 << c;
+    }
+
+    /// Settles the open generation (if any): counts an eviction, the reuse
+    /// it saw, and — for filled generations — the fetched/touched/wasted
+    /// byte split.
+    fn close_gen(&mut self, delta: &mut LineAgg) {
+        if self.state == Self::CLOSED {
+            return;
+        }
+        delta.evictions += 1;
+        delta.reuse_sum += u64::from(self.touches);
+        if self.state == Self::FILLED {
+            let touched = u64::from(self.gen_mask.count_ones());
+            delta.bytes_fetched += CACHE_LINE as u64;
+            delta.bytes_touched += touched;
+            delta.bytes_wasted += CACHE_LINE as u64 - touched;
+        }
+        self.gen_mask = 0;
+        self.touches = 0;
+        self.state = Self::CLOSED;
+    }
+
+    /// Closes the incarnation: settles the generation and the sharing
+    /// columns, then resets for reuse. Returns whether the line was touched
+    /// at all this incarnation.
+    fn close_incarnation(&mut self, delta: &mut LineAgg) -> bool {
+        self.close_gen(delta);
+        let touched = self.touchers != 0;
+        if self.touchers.count_ones() >= 2 {
+            delta.shared_lines += 1;
+            delta.shared_bytes += u64::from(self.other_mask.count_ones());
+        }
+        self.touchers = 0;
+        self.other_mask = 0;
+        self.first = u16::MAX;
+        touched
+    }
+}
+
+/// The slice of a field that overlaps `line`, as a byte bitmask relative to
+/// the line start.
+fn line_byte_mask(f: &layout::Field, line: usize) -> u64 {
+    let line_lo = line * CACHE_LINE;
+    let lo = f.off.max(line_lo) - line_lo;
+    let hi = (f.off + f.len).min(line_lo + CACHE_LINE) - line_lo;
+    debug_assert!(lo < hi && hi <= CACHE_LINE);
+    let width = hi - lo;
+    if width >= 64 {
+        u64::MAX
+    } else {
+        ((1u64 << width) - 1) << lo
+    }
+}
+
 #[derive(Debug)]
 struct ObjProf {
     readers: Box<[u128]>,
@@ -92,6 +223,9 @@ struct Obj {
     home_chip: u16,
     lines: Box<[LineState]>,
     prof: Option<ObjProf>,
+    /// dprof-v2 ledger, one entry per materialized line; `None` unless v2
+    /// was enabled when the object was allocated (or first recycled).
+    ledger: Option<Box<[LineLedger]>>,
 }
 
 /// The machine-wide coherence model. See the module docs.
@@ -107,15 +241,23 @@ pub struct CacheModel {
     objs: Vec<Option<Obj>>,
     live: usize,
     next_id: u64,
+    /// Which field layout the model places objects with.
+    variant: LayoutVariant,
     /// The DProf profiler; enable before a run to collect Table 4 /
     /// Figure 4 data.
     pub dprof: DProf,
 }
 
 impl CacheModel {
-    /// Creates a model for the given machine.
+    /// Creates a model for the given machine with the paper-faithful layout.
     #[must_use]
     pub fn new(machine: Machine) -> Self {
+        Self::new_with_layout(machine, LayoutVariant::Paper)
+    }
+
+    /// Creates a model for the given machine using `variant` field layouts.
+    #[must_use]
+    pub fn new_with_layout(machine: Machine, variant: LayoutVariant) -> Self {
         assert!(machine.n_cores <= 128, "core masks are 128 bits");
         let chip_of: Vec<u16> = (0..machine.n_cores)
             .map(|i| machine.chip_of(CoreId(i as u16)).0)
@@ -132,6 +274,7 @@ impl CacheModel {
             objs: vec![None],
             live: 0,
             next_id: 1,
+            variant,
             dprof: DProf::disabled(),
         }
     }
@@ -140,6 +283,12 @@ impl CacheModel {
     #[must_use]
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// The layout variant objects are placed with.
+    #[must_use]
+    pub fn layout_variant(&self) -> LayoutVariant {
+        self.variant
     }
 
     /// Number of live tracked objects.
@@ -160,14 +309,20 @@ impl CacheModel {
                 writers: vec![0; nf].into_boxed_slice(),
             }
         });
+        let n_lines = layout::hot_lines_v(self.variant, ty);
+        let ledger = self
+            .dprof
+            .is_v2_enabled()
+            .then(|| vec![LineLedger::new(); n_lines].into_boxed_slice());
         debug_assert_eq!(self.objs.len() as u64, id);
         self.objs.push(Some(Obj {
             ty,
             home_chip: self.chip_of[core.index()],
             // Only the hot prefix is materialized; cold LocalOnly
             // tails are never touched by the data path.
-            lines: vec![LineState::default(); layout::hot_lines(ty)].into_boxed_slice(),
+            lines: vec![LineState::default(); n_lines].into_boxed_slice(),
             prof,
+            ledger,
         }));
         self.live += 1;
         ObjId(id)
@@ -185,9 +340,9 @@ impl CacheModel {
 
     /// Frees an object: folds its sharing profile into DProf and drops it.
     pub fn free(&mut self, id: ObjId) {
-        if let Some(obj) = self.objs.get_mut(id.0 as usize).and_then(Option::take) {
+        if let Some(mut obj) = self.objs.get_mut(id.0 as usize).and_then(Option::take) {
             self.live -= 1;
-            self.fold(&obj);
+            self.fold(&mut obj);
         }
     }
 
@@ -196,11 +351,13 @@ impl CacheModel {
     /// memory freed by another core starts from that core's cached lines.
     pub fn recycle(&mut self, id: ObjId) {
         let enabled = self.dprof.is_enabled();
+        let v2 = self.dprof.is_v2_enabled();
+        let variant = self.variant;
         if let Some(obj) = self.objs.get_mut(id.0 as usize).and_then(Option::as_mut) {
             // Fold, then reset masks for the next incarnation.
             let ty = obj.ty;
             if let Some(prof) = obj.prof.as_mut() {
-                Self::fold_profile(&mut self.dprof, ty, prof);
+                Self::fold_profile(&mut self.dprof, variant, ty, prof);
                 prof.readers.iter_mut().for_each(|m| *m = 0);
                 prof.writers.iter_mut().for_each(|m| *m = 0);
             } else if enabled {
@@ -211,34 +368,56 @@ impl CacheModel {
                     writers: vec![0; nf].into_boxed_slice(),
                 });
             }
+            if let Some(ledger) = obj.ledger.as_mut() {
+                Self::fold_ledger(&mut self.dprof, ty, ledger);
+            } else if v2 {
+                // v2 was enabled after allocation; start tracking.
+                obj.ledger = Some(vec![LineLedger::new(); obj.lines.len()].into_boxed_slice());
+            }
         }
     }
 
     /// Folds all live objects' profiles into DProf (end of a measured run).
     pub fn fold_all_live(&mut self) {
         let dprof = &mut self.dprof;
+        let variant = self.variant;
         for obj in self.objs.iter_mut().filter_map(Option::as_mut) {
             let ty = obj.ty;
             if let Some(prof) = obj.prof.as_mut() {
-                Self::fold_profile(dprof, ty, prof);
+                Self::fold_profile(dprof, variant, ty, prof);
                 prof.readers.iter_mut().for_each(|m| *m = 0);
                 prof.writers.iter_mut().for_each(|m| *m = 0);
+            }
+            if let Some(ledger) = obj.ledger.as_mut() {
+                Self::fold_ledger(dprof, ty, ledger);
             }
         }
     }
 
-    fn fold(&mut self, obj: &Obj) {
-        if let Some(prof) = &obj.prof {
-            let mut tmp = ObjProf {
-                readers: prof.readers.clone(),
-                writers: prof.writers.clone(),
-            };
-            Self::fold_profile(&mut self.dprof, obj.ty, &mut tmp);
+    fn fold(&mut self, obj: &mut Obj) {
+        if let Some(prof) = obj.prof.as_mut() {
+            Self::fold_profile(&mut self.dprof, self.variant, obj.ty, prof);
+        }
+        if let Some(ledger) = obj.ledger.as_mut() {
+            Self::fold_ledger(&mut self.dprof, obj.ty, ledger);
         }
     }
 
-    fn fold_profile(dprof: &mut DProf, ty: DataType, prof: &mut ObjProf) {
-        dprof.fold_instance(ty, &prof.readers, &prof.writers);
+    fn fold_profile(dprof: &mut DProf, variant: LayoutVariant, ty: DataType, prof: &mut ObjProf) {
+        dprof.fold_instance_v(variant, ty, &prof.readers, &prof.writers);
+    }
+
+    /// Closes every line's incarnation and folds the deltas into DProf v2.
+    fn fold_ledger(dprof: &mut DProf, ty: DataType, ledger: &mut [LineLedger]) {
+        let mut delta = LineAgg::default();
+        let mut touched = false;
+        for ll in ledger.iter_mut() {
+            touched |= ll.close_incarnation(&mut delta);
+        }
+        if touched {
+            delta.instances += 1;
+        }
+        dprof.v2_fold(ty, &delta);
     }
 
     #[expect(clippy::too_many_arguments)]
@@ -339,17 +518,25 @@ impl CacheModel {
         let my_chip = self.chip_of[c];
         let lat = self.machine.lat;
         let dprof_on = self.dprof.is_enabled();
+        let v2_on = self.dprof.is_v2_enabled();
+        let variant = self.variant;
         let obj = self.objs[id.0 as usize].as_mut().expect("live object");
         let ty = obj.ty;
-        let f = &layout::fields(ty)[field_idx];
+        let f = &layout::fields_v(variant, ty)[field_idx];
+        let side = TouchSide::of(f.tag);
         let mut acc = Access::default();
+        let mut delta = LineAgg::default();
         for line in f.lines() {
+            let ls = &mut obj.lines[line];
+            // A fill is an access by a core holding no copy — computed
+            // before `touch_one` mutates the sharer set.
+            let filled = v2_on && (ls.sharers >> c) & 1 == 0;
             let (cycles, level) = Self::touch_one(
                 &lat,
                 &self.chip_of,
                 &self.chip_mask,
                 obj.home_chip,
-                &mut obj.lines[line],
+                ls,
                 c,
                 my_chip,
                 write,
@@ -357,6 +544,11 @@ impl CacheModel {
             acc.latency += cycles;
             if level.is_l2_miss() {
                 acc.l2_misses += 1;
+            }
+            if v2_on {
+                if let Some(ledger) = obj.ledger.as_mut() {
+                    ledger[line].touch(&mut delta, c, filled, line_byte_mask(f, line), side);
+                }
             }
         }
         if dprof_on {
@@ -371,6 +563,9 @@ impl CacheModel {
             if f.tag.shared_under_fine() {
                 self.dprof.record_shared_access(ty, acc.latency);
             }
+        }
+        if v2_on {
+            self.dprof.v2_fold(ty, &delta);
         }
         acc
     }
@@ -387,22 +582,28 @@ impl CacheModel {
         let my_chip = self.chip_of[c];
         let lat = self.machine.lat;
         let dprof_on = self.dprof.is_enabled();
+        let v2_on = self.dprof.is_v2_enabled();
+        let variant = self.variant;
         let obj = self.objs[id.0 as usize].as_mut().expect("live object");
         let ty = obj.ty;
-        let fields = layout::fields(ty);
+        let fields = layout::fields_v(variant, ty);
+        let side = TouchSide::of(tag);
         let mut acc = Access::default();
+        let mut delta = LineAgg::default();
         let shared_set = tag.shared_under_fine();
         let me = 1u128 << c;
         for &idx in layout::tag_indices(ty, tag) {
             let f = &fields[idx as usize];
             let mut field_acc = Access::default();
             for line in f.lines() {
+                let ls = &mut obj.lines[line];
+                let filled = v2_on && (ls.sharers >> c) & 1 == 0;
                 let (cycles, level) = Self::touch_one(
                     &lat,
                     &self.chip_of,
                     &self.chip_mask,
                     obj.home_chip,
-                    &mut obj.lines[line],
+                    ls,
                     c,
                     my_chip,
                     write,
@@ -410,6 +611,11 @@ impl CacheModel {
                 field_acc.latency += cycles;
                 if level.is_l2_miss() {
                     field_acc.l2_misses += 1;
+                }
+                if v2_on {
+                    if let Some(ledger) = obj.ledger.as_mut() {
+                        ledger[line].touch(&mut delta, c, filled, line_byte_mask(f, line), side);
+                    }
                 }
             }
             if dprof_on {
@@ -425,6 +631,9 @@ impl CacheModel {
                 }
             }
             acc.add(field_acc);
+        }
+        if v2_on {
+            self.dprof.v2_fold(ty, &delta);
         }
         acc
     }
@@ -594,6 +803,131 @@ mod tests {
     fn dprof_disabled_by_default_costs_nothing_extra() {
         let m = model();
         assert!(!m.dprof.is_enabled());
+        assert!(!m.dprof.is_v2_enabled());
+        assert!(!m.dprof.cacheline_stats().enabled);
+    }
+
+    /// The v2 audit laws, checked straight off the cache model: byte
+    /// conservation, 64 bytes per fill, one eviction per generation, and
+    /// reuse summing to total touches.
+    #[cfg(not(feature = "fast"))]
+    fn assert_v2_laws(t: &crate::dprof::LineAgg) {
+        assert_eq!(t.bytes_touched + t.bytes_wasted, t.bytes_fetched);
+        assert_eq!(t.bytes_fetched, 64 * t.fills);
+        assert_eq!(t.evictions, t.fills + t.warm_gens);
+        assert_eq!(t.reuse_sum, t.touches);
+    }
+
+    #[cfg(not(feature = "fast"))]
+    #[test]
+    fn v2_ledger_conserves_bytes_across_fills_and_evictions() {
+        let mut m = model();
+        m.dprof.enable_v2();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        m.access_field(C0, id, 0, true); // fill
+        m.access_field(C0, id, 0, false); // reuse, same generation
+        m.access_field(C6, id, 0, false); // fill on C6 (new generation)
+        m.access_field(C0, id, 0, true); // upgrade: C0 still holds a copy
+        m.free(id);
+        let t = *m.dprof.v2_agg(DataType::TcpRequestSock).expect("recorded");
+        assert_v2_laws(&t);
+        assert_eq!(t.instances, 1);
+        assert_eq!(t.touches, 4);
+        // C0's compulsory miss and C6's fetch are the only fills: the final
+        // write is an upgrade on a line C0 still shares.
+        assert_eq!(t.fills, 2);
+        assert_eq!(t.warm_gens, 0);
+        assert!(t.bytes_wasted > 0, "a lone field never fills its line");
+        // Two cores touched the line; C6's read brought in foreign bytes.
+        assert_eq!(t.shared_lines, 1);
+        assert!(t.shared_bytes > 0);
+    }
+
+    #[cfg(not(feature = "fast"))]
+    #[test]
+    fn v2_counts_warm_generation_after_recycle() {
+        let mut m = model();
+        m.dprof.enable_v2();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        m.access_field(C0, id, 0, true);
+        m.recycle(id); // closes the incarnation — and its open generation
+        m.access_field(C0, id, 0, false); // line still resident: warm gen
+        m.free(id);
+        let t = *m.dprof.v2_agg(DataType::TcpRequestSock).expect("recorded");
+        assert_v2_laws(&t);
+        assert_eq!(t.fills, 1);
+        assert_eq!(t.warm_gens, 1);
+        assert_eq!(t.instances, 2);
+    }
+
+    #[cfg(not(feature = "fast"))]
+    #[test]
+    fn v2_enabled_after_alloc_starts_tracking_on_recycle() {
+        let mut m = model();
+        let id = m.alloc(DataType::TcpRequestSock, C0);
+        m.access_field(C0, id, 0, true); // before v2: not recorded
+        m.dprof.enable_v2();
+        m.recycle(id);
+        m.access_field(C0, id, 0, false);
+        m.free(id);
+        let t = *m.dprof.v2_agg(DataType::TcpRequestSock).expect("recorded");
+        assert_v2_laws(&t);
+        assert_eq!(t.warm_gens, 1);
+        assert_eq!(t.fills, 0);
+    }
+
+    #[cfg(not(feature = "fast"))]
+    #[test]
+    fn v2_sides_follow_field_tags() {
+        let mut m = model();
+        m.dprof.enable_v2();
+        let id = m.alloc(DataType::TcpSock, C0);
+        m.access_tagged(C0, id, layout::FieldTag::RxOnly, false);
+        m.access_tagged(C0, id, layout::FieldTag::AppOnly, true);
+        m.access_tagged(C0, id, layout::FieldTag::GlobalNode, true);
+        m.fold_all_live();
+        let t = *m.dprof.v2_agg(DataType::TcpSock).expect("recorded");
+        assert_v2_laws(&t);
+        assert!(t.rx_touches > 0);
+        assert!(t.app_touches > 0);
+        assert!(t.global_touches > 0);
+        assert_eq!(t.rx_touches + t.app_touches + t.global_touches, t.touches);
+    }
+
+    #[test]
+    fn packed_model_reports_its_variant_and_serves_accesses() {
+        let mut m = CacheModel::new_with_layout(Machine::amd48(), LayoutVariant::Packed);
+        assert_eq!(m.layout_variant(), LayoutVariant::Packed);
+        assert_eq!(model().layout_variant(), LayoutVariant::Paper);
+        let id = m.alloc(DataType::TcpSock, C0);
+        let a = m.access_tagged(C0, id, layout::FieldTag::BothRwByRx, true);
+        assert!(a.latency > 0);
+        m.free(id);
+    }
+
+    #[cfg(not(feature = "fast"))]
+    #[test]
+    fn v2_packed_layout_wastes_fewer_bytes_for_rx_path() {
+        // The packed layout tiles the nine BothRwByRx fields contiguously,
+        // so a softirq-side sweep fetches fewer lines and wastes fewer
+        // bytes than the paper layout, where each sits on its own line.
+        let mut waste = [0u64; 2];
+        for (i, v) in LayoutVariant::ALL.iter().enumerate() {
+            let mut m = CacheModel::new_with_layout(Machine::amd48(), *v);
+            m.dprof.enable_v2();
+            let id = m.alloc(DataType::TcpSock, C0);
+            m.access_tagged(C0, id, layout::FieldTag::BothRwByRx, true);
+            m.free(id);
+            let t = *m.dprof.v2_agg(DataType::TcpSock).expect("recorded");
+            assert_v2_laws(&t);
+            waste[i] = t.bytes_wasted;
+        }
+        assert!(
+            waste[1] < waste[0],
+            "packed {} vs paper {}",
+            waste[1],
+            waste[0]
+        );
     }
 }
 

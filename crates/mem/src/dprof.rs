@@ -19,9 +19,156 @@
 //! socket implementation in use.
 
 use crate::layout;
+use crate::layout::LayoutVariant;
 use crate::types::DataType;
 use metrics::Histogram;
 use std::collections::BTreeMap;
+
+/// Which call-site class touched a cache line (dprof-v2's attribution
+/// axis): derived from the touched field's [`layout::FieldTag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TouchSide {
+    /// Packet-side (softirq) code: `RxOnly` / `BothRwByRx` fields.
+    Rx,
+    /// Application-side (syscall) code: `AppOnly` / `BothRwByApp` fields.
+    App,
+    /// Setup / global-structure code: `BothRo` / `GlobalNode` fields.
+    Global,
+}
+
+impl TouchSide {
+    /// Classifies a field tag into its touching call-site class.
+    #[must_use]
+    pub fn of(tag: layout::FieldTag) -> Self {
+        use layout::FieldTag as T;
+        match tag {
+            T::RxOnly | T::BothRwByRx => TouchSide::Rx,
+            T::AppOnly | T::BothRwByApp => TouchSide::App,
+            T::BothRo | T::GlobalNode | T::LocalOnly => TouchSide::Global,
+        }
+    }
+}
+
+/// Per-`DataType` aggregate of the dprof-v2 per-cacheline access ledger
+/// (DESIGN.md §13). A *generation* is the interval between a line's fill
+/// (an access served beyond L2, pulling all 64 bytes) and its eviction
+/// (the next fill, or the object's free/recycle/end-of-run fold). An
+/// *incarnation* is one allocate-to-fold lifetime of the object.
+///
+/// All byte counters are accounted at generation close, so
+/// `bytes_touched + bytes_wasted == bytes_fetched` and
+/// `bytes_fetched == 64 * fills` hold by construction once every
+/// generation has folded — the run audit enforces exactly that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LineAgg {
+    /// Incarnations folded with at least one touched line.
+    pub instances: u64,
+    /// Generations opened by a data fetch (the access missed both local
+    /// cache levels, so the whole line was pulled in).
+    pub fills: u64,
+    /// Generations opened on an already-resident line (e.g. the first
+    /// touch after a recycle hit a still-warm line): reuse without a
+    /// fetch, so they carry no byte accounting.
+    pub warm_gens: u64,
+    /// Generations closed (`fills + warm_gens` once everything folded).
+    pub evictions: u64,
+    /// Bytes pulled into cache: 64 per filled generation.
+    pub bytes_fetched: u64,
+    /// Distinct bytes actually touched between fill and eviction.
+    pub bytes_touched: u64,
+    /// `bytes_fetched - bytes_touched`: fetched and never used.
+    pub bytes_wasted: u64,
+    /// Line touches recorded.
+    pub touches: u64,
+    /// Touches folded at generation close (equals `touches` once every
+    /// generation has folded; `reuse_sum / evictions` is the average
+    /// eviction-reuse).
+    pub reuse_sum: u64,
+    /// Touches from packet-side (softirq) call sites.
+    pub rx_touches: u64,
+    /// Touches from application-side (syscall) call sites.
+    pub app_touches: u64,
+    /// Touches from setup/global call sites.
+    pub global_touches: u64,
+    /// Incarnation lines touched by ≥ 2 cores (dprof-v2's independent
+    /// shared-lines column, cross-checked against [`Table4Row`]).
+    pub shared_lines: u64,
+    /// Incarnation bytes touched by a core other than the line's first
+    /// toucher (dprof-v2's independent shared-bytes column).
+    pub shared_bytes: u64,
+}
+
+impl LineAgg {
+    /// Accumulates another aggregate (the cache model folds per-access
+    /// deltas through this).
+    pub fn merge(&mut self, o: &LineAgg) {
+        self.instances += o.instances;
+        self.fills += o.fills;
+        self.warm_gens += o.warm_gens;
+        self.evictions += o.evictions;
+        self.bytes_fetched += o.bytes_fetched;
+        self.bytes_touched += o.bytes_touched;
+        self.bytes_wasted += o.bytes_wasted;
+        self.touches += o.touches;
+        self.reuse_sum += o.reuse_sum;
+        self.rx_touches += o.rx_touches;
+        self.app_touches += o.app_touches;
+        self.global_touches += o.global_touches;
+        self.shared_lines += o.shared_lines;
+        self.shared_bytes += o.shared_bytes;
+    }
+
+    /// Whether every counter is zero (the inert-plane audit law).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == LineAgg::default()
+    }
+
+    /// Average touches per closed generation.
+    #[must_use]
+    pub fn reuse_per_eviction(&self) -> f64 {
+        self.reuse_sum as f64 / self.evictions.max(1) as f64
+    }
+}
+
+/// The dprof-v2 cacheline report carried by `RunResult`: a snapshot of
+/// the per-type ledgers at the end of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CachelineStats {
+    /// Whether the ledger was recording (false in disabled/`fast` runs;
+    /// every counter is then zero).
+    pub enabled: bool,
+    /// Per-type aggregates, ordered by `DataType`.
+    pub per_type: Vec<(DataType, LineAgg)>,
+}
+
+impl CachelineStats {
+    /// Sum over all types.
+    #[must_use]
+    pub fn totals(&self) -> LineAgg {
+        let mut t = LineAgg::default();
+        for (_, agg) in &self.per_type {
+            t.merge(agg);
+        }
+        t
+    }
+
+    /// Wasted bytes per request across all types: the headline number the
+    /// wallclock regression gate and the packed-layout scenario gate read.
+    #[must_use]
+    pub fn wasted_bytes_per_request(&self, requests: u64) -> f64 {
+        self.totals().bytes_wasted as f64 / requests.max(1) as f64
+    }
+
+    /// The aggregate for one type, if it recorded anything.
+    #[must_use]
+    pub fn agg(&self, ty: DataType) -> Option<&LineAgg> {
+        self.per_type
+            .iter()
+            .find(|(t, _)| *t == ty)
+            .map(|(_, agg)| agg)
+    }
+}
 
 /// Aggregated sharing profile of one data type.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +211,8 @@ pub struct Table4Row {
 pub struct DProf {
     enabled: bool,
     per_type: BTreeMap<DataType, TypeAgg>,
+    v2: bool,
+    per_type_v2: BTreeMap<DataType, LineAgg>,
 }
 
 impl DProf {
@@ -72,7 +221,50 @@ impl DProf {
     pub fn enabled() -> Self {
         Self {
             enabled: true,
-            per_type: BTreeMap::new(),
+            ..Self::default()
+        }
+    }
+
+    /// Turns on the dprof-v2 cacheline ledger (independent of the Table 4
+    /// plane; both may record in the same run).
+    pub fn enable_v2(&mut self) {
+        self.v2 = true;
+    }
+
+    /// Whether the cacheline ledger is recording. Same discipline as
+    /// [`DProf::is_enabled`]: always `false` under the `fast` feature, and
+    /// ledger recording never alters charged latencies, schedules events,
+    /// or draws randomness — toggling it is fingerprint-neutral.
+    #[must_use]
+    pub fn is_v2_enabled(&self) -> bool {
+        cfg!(not(feature = "fast")) && self.v2
+    }
+
+    /// Folds a per-access (or per-fold-point) ledger delta into the
+    /// type's aggregate.
+    pub fn v2_fold(&mut self, ty: DataType, delta: &LineAgg) {
+        if delta.is_zero() {
+            return;
+        }
+        self.per_type_v2.entry(ty).or_default().merge(delta);
+    }
+
+    /// The cacheline aggregate for one type, if anything recorded.
+    #[must_use]
+    pub fn v2_agg(&self, ty: DataType) -> Option<&LineAgg> {
+        self.per_type_v2.get(&ty)
+    }
+
+    /// Snapshot of the cacheline ledger for `RunResult`.
+    #[must_use]
+    pub fn cacheline_stats(&self) -> CachelineStats {
+        CachelineStats {
+            enabled: self.is_v2_enabled(),
+            per_type: self
+                .per_type_v2
+                .iter()
+                .map(|(ty, agg)| (*ty, *agg))
+                .collect(),
         }
     }
 
@@ -105,10 +297,22 @@ impl DProf {
     /// Folds one finished object instance's per-field reader/writer core
     /// masks into the type aggregate. Untouched instances are skipped.
     pub fn fold_instance(&mut self, ty: DataType, readers: &[u128], writers: &[u128]) {
+        self.fold_instance_v(LayoutVariant::Paper, ty, readers, writers);
+    }
+
+    /// [`DProf::fold_instance`] under an explicit layout variant (field →
+    /// line mapping differs between variants; byte totals do not).
+    pub fn fold_instance_v(
+        &mut self,
+        variant: LayoutVariant,
+        ty: DataType,
+        readers: &[u128],
+        writers: &[u128],
+    ) {
         if !self.is_enabled() {
             return;
         }
-        let fields = layout::fields(ty);
+        let fields = layout::fields_v(variant, ty);
         debug_assert_eq!(fields.len(), readers.len());
         let mut touched = false;
         let mut shared_bytes = 0u64;
@@ -276,5 +480,77 @@ mod tests {
     fn shared_under_fine_covers_globalnode() {
         assert!(FieldTag::GlobalNode.shared_under_fine());
         assert!(!FieldTag::RxOnly.shared_under_fine());
+    }
+
+    #[test]
+    fn v2_disabled_by_default_and_folds_when_enabled() {
+        let mut d = DProf::disabled();
+        assert!(!d.is_v2_enabled());
+        d.enable_v2();
+        assert!(d.is_v2_enabled());
+        let delta = LineAgg {
+            fills: 2,
+            evictions: 2,
+            bytes_fetched: 128,
+            bytes_touched: 40,
+            bytes_wasted: 88,
+            touches: 5,
+            reuse_sum: 5,
+            ..LineAgg::default()
+        };
+        d.v2_fold(DataType::SkBuff, &delta);
+        d.v2_fold(DataType::SkBuff, &delta);
+        let agg = d.v2_agg(DataType::SkBuff).expect("folded");
+        assert_eq!(agg.fills, 4);
+        assert_eq!(agg.bytes_touched + agg.bytes_wasted, agg.bytes_fetched);
+        assert!((agg.reuse_per_eviction() - 2.5).abs() < 1e-12);
+        let stats = d.cacheline_stats();
+        assert!(stats.enabled);
+        assert_eq!(stats.totals().bytes_fetched, 256);
+        assert_eq!(stats.agg(DataType::SkBuff), Some(agg));
+        assert!(stats.agg(DataType::TcpSock).is_none());
+        assert!((stats.wasted_bytes_per_request(2) - 88.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v2_fold_skips_zero_deltas() {
+        let mut d = DProf::disabled();
+        d.enable_v2();
+        d.v2_fold(DataType::TcpSock, &LineAgg::default());
+        assert!(d.v2_agg(DataType::TcpSock).is_none());
+        assert!(LineAgg::default().is_zero());
+    }
+
+    #[test]
+    fn touch_side_classifies_tags() {
+        assert_eq!(TouchSide::of(FieldTag::RxOnly), TouchSide::Rx);
+        assert_eq!(TouchSide::of(FieldTag::BothRwByRx), TouchSide::Rx);
+        assert_eq!(TouchSide::of(FieldTag::AppOnly), TouchSide::App);
+        assert_eq!(TouchSide::of(FieldTag::BothRwByApp), TouchSide::App);
+        assert_eq!(TouchSide::of(FieldTag::BothRo), TouchSide::Global);
+        assert_eq!(TouchSide::of(FieldTag::GlobalNode), TouchSide::Global);
+    }
+
+    #[test]
+    fn fold_instance_v_maps_lines_through_the_variant() {
+        // Under Packed, TcpSock's nine BothRwByRx fields live on 4 lines
+        // instead of 9; a two-core instance touching only those fields
+        // must report fewer shared lines under Packed.
+        let shared_lines = |variant| {
+            let mut d = DProf::enabled();
+            let fields = layout::fields_v(variant, DataType::TcpSock);
+            let mut readers = vec![0u128; fields.len()];
+            let mut writers = vec![0u128; fields.len()];
+            for (i, f) in fields.iter().enumerate() {
+                if f.tag == FieldTag::BothRwByRx {
+                    writers[i] = 0b01;
+                    readers[i] = 0b10;
+                }
+            }
+            d.fold_instance_v(variant, DataType::TcpSock, &readers, &writers);
+            d.agg(DataType::TcpSock).expect("touched").shared_lines
+        };
+        assert_eq!(shared_lines(crate::layout::LayoutVariant::Paper), 9);
+        assert_eq!(shared_lines(crate::layout::LayoutVariant::Packed), 4);
     }
 }

@@ -33,7 +33,7 @@ pub mod slab;
 pub mod types;
 
 pub use cache::{CacheModel, ObjId, ServiceLevel};
-pub use dprof::DProf;
-pub use layout::{Field, FieldTag};
+pub use dprof::{CachelineStats, DProf, LineAgg, TouchSide};
+pub use layout::{Field, FieldTag, LayoutVariant};
 pub use slab::SlabAllocator;
 pub use types::DataType;

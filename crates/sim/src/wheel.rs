@@ -45,18 +45,35 @@ const MASK: u64 = (SLOTS - 1) as u64;
 /// Words in a level's occupancy bitmap.
 const OCC_WORDS: usize = SLOTS / 64;
 
+/// One queued event. `repr(C)` pins the `(time, seq)` ordering key at the
+/// struct head: bucket sorting and ready-queue merging read only the first
+/// 16 bytes, so a drain touches the fewest host cache lines possible when
+/// `E` is large (access-affinity layout, per the dprof-v2 analysis).
 #[derive(Debug)]
+#[repr(C)]
 struct Entry<E> {
     time: Cycles,
     seq: u64,
     event: E,
 }
 
+// The sort key must stay at the head and a payload-free entry must stay
+// exactly two words — growth here multiplies across every queued event.
+const _: () = assert!(std::mem::size_of::<Entry<()>>() == 16);
+const _: () = assert!(std::mem::offset_of!(Entry<()>, time) == 0);
+const _: () = assert!(std::mem::offset_of!(Entry<()>, seq) == 8);
+
+/// One wheel level. The occupancy bitmap leads the struct: "next
+/// non-empty slot" scans (the common sparse-queue operation) read only
+/// `occ`'s 32 bytes and never fault in the slot-vector header.
 #[derive(Debug)]
+#[repr(C)]
 struct Level<E> {
-    slots: Vec<Vec<Entry<E>>>,
     occ: [u64; OCC_WORDS],
+    slots: Vec<Vec<Entry<E>>>,
 }
+
+const _: () = assert!(std::mem::offset_of!(Level<()>, occ) == 0);
 
 impl<E> Level<E> {
     fn new() -> Self {

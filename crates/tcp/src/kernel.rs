@@ -66,11 +66,20 @@ pub struct Kernel {
 }
 
 impl Kernel {
-    /// Creates a kernel for `machine` with empty tables.
+    /// Creates a kernel for `machine` with empty tables and the
+    /// paper-faithful object layout.
     #[must_use]
     pub fn new(machine: Machine) -> Self {
+        Self::new_with_layout(machine, mem::LayoutVariant::Paper)
+    }
+
+    /// Creates a kernel whose cache model places objects with `variant`
+    /// field layouts (the packed variant changes charged latencies, so it
+    /// is never the default).
+    #[must_use]
+    pub fn new_with_layout(machine: Machine, variant: mem::LayoutVariant) -> Self {
         let n_cores = machine.n_cores;
-        let mut cache = CacheModel::new(machine.clone());
+        let mut cache = CacheModel::new_with_layout(machine.clone(), variant);
         let est = EstTable::new(EST_TABLE_BUCKETS, &mut cache);
         let reqs = ReqTable::new(REQ_TABLE_BUCKETS, &mut cache);
         Self {
@@ -98,6 +107,12 @@ impl Kernel {
     /// Enables the DProf profiler (Table 3/4, Figure 4 runs).
     pub fn enable_dprof(&mut self) {
         self.cache.dprof = mem::DProf::enabled();
+    }
+
+    /// Enables the dprof-v2 per-cacheline ledger (wasted-bytes reports).
+    /// Independent of [`Kernel::enable_dprof`]; both may be on at once.
+    pub fn enable_dprof_v2(&mut self) {
+        self.cache.dprof.enable_v2();
     }
 
     /// Allocates the static file set served by the web server, spread

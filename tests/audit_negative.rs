@@ -42,10 +42,53 @@ fn clean_audit() -> &'static RunAudit {
     })
 }
 
+/// One clean audit from a dprof-v2-instrumented run (same point as
+/// [`clean_audit`] with the ledger recording): the cacheline teeth need
+/// real nonzero ledger totals to corrupt.
+fn v2_audit() -> &'static RunAudit {
+    static AUDIT: OnceLock<RunAudit> = OnceLock::new();
+    AUDIT.get_or_init(|| {
+        let mut cfg = RunConfig::new(
+            Machine::amd48(),
+            4,
+            ListenKind::Affinity,
+            ServerKind::apache(),
+            Workload::base(),
+            8_000.0,
+        );
+        cfg.warmup = ms(150);
+        cfg.measure = ms(150);
+        cfg.tracked_files = 200;
+        cfg.dprof_v2 = true;
+        let r = Runner::new(cfg).run();
+        assert!(
+            r.audit.is_ok(),
+            "v2 baseline run dirty: {:?}",
+            r.audit.violations()
+        );
+        assert!(
+            r.audit.cacheline_active && r.audit.cacheline.fills > 0,
+            "v2 baseline recorded nothing"
+        );
+        r.audit
+    })
+}
+
 /// Applies `corrupt` to a clean audit and asserts the audit now fails
 /// with a violation mentioning `expect`.
 fn assert_caught(corrupt: impl FnOnce(&mut RunAudit), expect: &str) {
     let mut a = clean_audit().clone();
+    corrupt(&mut a);
+    let v = a.violations();
+    assert!(
+        v.iter().any(|m| m.contains(expect)),
+        "corruption went uncaught: wanted a violation containing {expect:?}, got {v:?}"
+    );
+}
+
+/// [`assert_caught`] against the dprof-v2-instrumented baseline.
+fn assert_caught_v2(corrupt: impl FnOnce(&mut RunAudit), expect: &str) {
+    let mut a = v2_audit().clone();
     corrupt(&mut a);
     let v = a.violations();
     assert!(
@@ -203,6 +246,77 @@ fn overload_counters_are_audited() {
     let mut a = clean_audit().clone();
     a.overload_active = true;
     assert!(a.is_ok(), "{:?}", a.violations());
+}
+
+#[test]
+fn cacheline_ledger_is_inert_when_disabled() {
+    // The baseline run keeps dprof-v2 off, so every ledger counter bumped
+    // on it — all fourteen — must trip the inert-plane law.
+    assert!(!clean_audit().cacheline_active);
+    assert!(clean_audit().cacheline.is_zero());
+    let inert = "cacheline ledger recorded while disabled";
+    assert_caught(|a| a.cacheline.instances += 1, inert);
+    assert_caught(|a| a.cacheline.fills += 1, inert);
+    assert_caught(|a| a.cacheline.warm_gens += 1, inert);
+    assert_caught(|a| a.cacheline.evictions += 1, inert);
+    assert_caught(|a| a.cacheline.bytes_fetched += 1, inert);
+    assert_caught(|a| a.cacheline.bytes_touched += 1, inert);
+    assert_caught(|a| a.cacheline.bytes_wasted += 1, inert);
+    assert_caught(|a| a.cacheline.touches += 1, inert);
+    assert_caught(|a| a.cacheline.reuse_sum += 1, inert);
+    assert_caught(|a| a.cacheline.rx_touches += 1, inert);
+    assert_caught(|a| a.cacheline.app_touches += 1, inert);
+    assert_caught(|a| a.cacheline.global_touches += 1, inert);
+    assert_caught(|a| a.cacheline.shared_lines += 1, inert);
+    assert_caught(|a| a.cacheline.shared_bytes += 1, inert);
+    // An enabled ledger that recorded nothing is legal — flipping the
+    // flag alone must NOT violate.
+    let mut a = clean_audit().clone();
+    a.cacheline_active = true;
+    assert!(a.is_ok(), "{:?}", a.violations());
+}
+
+#[test]
+fn cacheline_counters_are_audited() {
+    // Byte conservation: touched + wasted == fetched.
+    assert_caught_v2(
+        |a| a.cacheline.bytes_wasted += 1,
+        "cacheline byte conservation",
+    );
+    assert_caught_v2(
+        |a| a.cacheline.bytes_touched += 1,
+        "cacheline byte conservation",
+    );
+    assert_caught_v2(
+        |a| a.cacheline.bytes_fetched += 64,
+        "cacheline byte conservation",
+    );
+    // Fill accounting: fetched == 64 * fills. Bumping fetched by a whole
+    // line (keeping byte conservation satisfiable) still trips it, as
+    // does a phantom fill.
+    assert_caught_v2(
+        |a| a.cacheline.bytes_fetched += 64,
+        "cacheline fill accounting",
+    );
+    assert_caught_v2(|a| a.cacheline.fills += 1, "cacheline fill accounting");
+    // Eviction accounting: evictions == fills + warm_gens.
+    assert_caught_v2(
+        |a| a.cacheline.warm_gens += 1,
+        "cacheline eviction accounting",
+    );
+    assert_caught_v2(
+        |a| a.cacheline.evictions += 1,
+        "cacheline eviction accounting",
+    );
+    // Reuse accounting: every touch settles into the reuse sum.
+    assert_caught_v2(|a| a.cacheline.reuse_sum += 1, "cacheline reuse accounting");
+    assert_caught_v2(|a| a.cacheline.touches += 1, "cacheline reuse accounting");
+    // Claiming the ledger was off while its counters are real must trip
+    // the inert-plane law.
+    assert_caught_v2(
+        |a| a.cacheline_active = false,
+        "cacheline ledger recorded while disabled",
+    );
 }
 
 #[test]
